@@ -1,0 +1,313 @@
+// Command benchrunner regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchrunner -exp fig5            # one experiment
+//	benchrunner -exp all             # everything (minutes)
+//	benchrunner -exp fig10 -seed 3   # change the deterministic seed
+//
+// Experiments: fig1, fig5, table1, fig6, fig7, table2, table3, fig8, fig9,
+// fig10, estimator, q32, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig1,fig5,table1,fig6,fig7,table2,table3,fig8,fig9,fig10,estimator,q32,all)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	quick := flag.Bool("quick", false, "smaller workloads (faster, noisier)")
+	flag.Parse()
+
+	runners := map[string]func(int64, bool) error{
+		"fig1":       runFig1,
+		"fig5":       runFig5,
+		"table1":     runTable1,
+		"fig6":       runFig6,
+		"fig7":       runFig6, // same experiment, second view
+		"table2":     runTable23,
+		"table3":     runTable23,
+		"fig8":       runFig8,
+		"fig9":       runFig9,
+		"fig10":      runFig10,
+		"estimator":  runEstimator,
+		"q32":        runQ32,
+		"parttype":   runPartType,
+		"writeaware": runWriteAware,
+		"gamma":      runGamma,
+		"drl":        runDRL,
+	}
+
+	if *exp == "all" {
+		order := []string{"fig5", "table1", "fig6", "fig1", "table2", "fig8", "fig9", "fig10", "estimator", "q32", "parttype", "writeaware", "gamma", "drl"}
+		for _, id := range order {
+			if err := runners[id](*seed, *quick); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(*seed, *quick); err != nil {
+		fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", *exp, err)
+		os.Exit(1)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func runFig5(seed int64, quick bool) error {
+	header("Fig. 5 — TPC-C latency & throughput (Default / Greedy / AutoIndex)")
+	scales := []int{1, 10, 100}
+	if quick {
+		scales = []int{1, 10}
+	}
+	for _, scale := range scales {
+		p := experiments.DefaultFig5Params(scale)
+		p.Seed = seed
+		if quick {
+			p.WarmTxns, p.EvalTxns = 80, 150
+		}
+		res, err := experiments.Fig5TPCC(p)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("TPC-C%dx:\n", scale)
+		for _, r := range res.Results {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	return nil
+}
+
+func runTable1(seed int64, _ bool) error {
+	header("Table I — indexes added on TPC-C1x with cost reduction")
+	rows, err := experiments.Table1AddedIndexes(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-40s %s\n", "method", "index", "cost↓")
+	for _, r := range rows {
+		fmt.Printf("%-10s %-40s %5.1f%%\n", r.Method, r.Index, r.CostReduction*100)
+	}
+	return nil
+}
+
+func runFig6(seed int64, _ bool) error {
+	header("Fig. 6/7 — TPC-DS per-query execution-cost reduction")
+	res, err := experiments.Fig6TPCDS(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexes selected: AutoIndex=%d Greedy=%d\n", res.AutoIndexCount, res.GreedyCount)
+	fmt.Printf("%-18s %10s %12s %12s %8s %8s\n", "query", "base", "autoindex", "greedy", "ai↓%", "gr↓%")
+	for i := range res.AutoIndex {
+		a, g := res.AutoIndex[i], res.Greedy[i]
+		fmt.Printf("%-18s %10.1f %12.1f %12.1f %7.1f%% %7.1f%%\n",
+			a.Query, a.BaseCost, a.TunedCost, g.TunedCost,
+			a.Reduction()*100, g.Reduction()*100)
+	}
+	for _, thr := range []float64{0.10, 0.25, 0.50} {
+		fmt.Printf("queries improved >%2.0f%%: AutoIndex=%d Greedy=%d\n",
+			thr*100, experiments.ImprovedOver(res.AutoIndex, thr),
+			experiments.ImprovedOver(res.Greedy, thr))
+	}
+	return nil
+}
+
+func runFig1(seed int64, quick bool) error {
+	header("Fig. 1 — banking index removal")
+	n := 1500
+	if quick {
+		n = 500
+	}
+	res, err := experiments.Fig1BankingRemoval(seed, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexes:    %4d -> %4d  (removed %.0f%%)\n",
+		res.IndexesBefore, res.IndexesAfter, res.RemovedFraction*100)
+	fmt.Printf("storage:    %8dB -> %8dB  (saved %.0f%%)\n",
+		res.BytesBefore, res.BytesAfter, res.StorageSavedFraction*100)
+	fmt.Printf("throughput: %.3f -> %.3f  (%+.1f%%)\n",
+		res.ThroughputBefore, res.ThroughputAfter,
+		(res.ThroughputAfter/res.ThroughputBefore-1)*100)
+	fmt.Printf("management: %d statements handled in %dms\n", res.StatementsManaged, res.TuneMillis)
+	return nil
+}
+
+func runTable23(seed int64, quick bool) error {
+	header("Table II/III — banking index creation for hybrid services")
+	n := 800
+	if quick {
+		n = 400
+	}
+	t2, t3, err := experiments.Table2Table3BankingCreation(seed, n)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexes added:        +%d (+%dB)\n", t2.IndexesAdded, t2.BytesAdded)
+	fmt.Printf("summarization (tps):  %.3f -> %.3f (%+.1f%%)\n",
+		t2.SummarizationTpsBefore, t2.SummarizationTpsAfter,
+		(t2.SummarizationTpsAfter/t2.SummarizationTpsBefore-1)*100)
+	fmt.Printf("withdrawal (tps):     %.3f -> %.3f (%+.1f%%)\n",
+		t2.WithdrawalTpsBefore, t2.WithdrawalTpsAfter,
+		(t2.WithdrawalTpsAfter/t2.WithdrawalTpsBefore-1)*100)
+	fmt.Printf("tuning time:          %dms\n", t2.TuneMillis)
+	fmt.Println("example indexes (Table III, marginal within final set):")
+	for _, row := range t3 {
+		fmt.Printf("  %-40s %12.1f -> %12.1f\n", row.Index, row.CostNoIndex, row.CostWithIndex)
+	}
+	return nil
+}
+
+func runFig8(seed int64, quick bool) error {
+	header("Fig. 8 — template-based vs query-level management overhead")
+	txns := 800
+	if quick {
+		txns = 300
+	}
+	res, err := experiments.Fig8TemplateOverhead(seed, txns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("statements:          %d (→ %d templates)\n", res.Statements, res.Templates)
+	fmt.Printf("tuning time:         template=%dms query-level=%dms (−%.1f%%)\n",
+		res.TemplateTuneMs, res.QueryLevelTuneMs, res.OverheadReduction*100)
+	fmt.Printf("eval workload cost:  template=%.0f query-level=%.0f (delta %.2f%%)\n",
+		res.TemplateEvalCost, res.QueryEvalCost, res.PerfDelta*100)
+	return nil
+}
+
+func runFig9(seed int64, quick bool) error {
+	header("Fig. 9 — dynamic TPC-C workload, per-epoch performance")
+	txns := 250
+	if quick {
+		txns = 120
+	}
+	epochs, err := experiments.Fig9Dynamic(seed, txns)
+	if err != nil {
+		return err
+	}
+	for _, ep := range epochs {
+		fmt.Printf("epoch %d (%s):\n", ep.Epoch, ep.Mix)
+		for _, r := range ep.Results {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	return nil
+}
+
+func runFig10(seed int64, quick bool) error {
+	header("Fig. 10 — performance under storage budgets (TPC-C100x-style)")
+	scale := 100
+	if quick {
+		scale = 10
+	}
+	budgets, err := experiments.Fig10StorageBudgets(seed, scale)
+	if err != nil {
+		return err
+	}
+	for _, b := range budgets {
+		fmt.Printf("budget %s (%dB):\n", b.Label, b.Budget)
+		for _, r := range b.Results {
+			fmt.Printf("  %s\n", r)
+		}
+	}
+	return nil
+}
+
+func runEstimator(seed int64, quick bool) error {
+	header("Estimator — learned regression vs static weights (9-fold CV)")
+	txns := 120
+	if quick {
+		txns = 60
+	}
+	res, err := experiments.EstimatorAccuracy(seed, txns)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("samples: %d\n", res.Samples)
+	fmt.Printf("mean relative error: learned=%.3f static=%.3f\n", res.LearnedError, res.StaticError)
+	return nil
+}
+
+func runPartType(seed int64, _ bool) error {
+	header("Index type selection — global vs local on a partitioned table (§III)")
+	res, err := experiments.IndexTypeSelection(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("partition-key workload: local=%.1f global=%.1f  → AutoIndex chose %q\n",
+		res.KeyWorkloadLocal, res.KeyWorkloadGlobal, res.PartitionKeyChoice)
+	fmt.Printf("non-key workload:       local=%.1f global=%.1f  → AutoIndex chose %q\n",
+		res.NonKeyWorkloadLocal, res.NonKeyWorkloadGlobal, res.NonKeyChoice)
+	return nil
+}
+
+func runWriteAware(seed int64, _ bool) error {
+	header("Ablation — write-cost-aware vs read-only estimator (epidemic W2)")
+	res, err := experiments.WriteCostAwareness(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("measured W2 cost: index kept=%.0f dropped=%.0f (dropping is right)\n",
+		res.CostKept, res.CostDropped)
+	fmt.Printf("write-aware estimator drops idx_community: %v (correct)\n", res.AwareDropsCommunity)
+	fmt.Printf("read-only estimator drops idx_community:   %v (wrongly keeps it)\n", res.BlindDropsCommunity)
+	return nil
+}
+
+func runGamma(seed int64, _ bool) error {
+	header("Ablation — MCTS exploration constant γ (correlated-pair landscape)")
+	points, err := experiments.GammaSweep(seed, []float64{0.01, 0.2, 0.5, 1.4, 3.0, 6.0})
+	if err != nil {
+		return err
+	}
+	for _, p := range points {
+		fmt.Printf("γ=%-5.2f foundPair=%-5v bestCost=%6.0f evaluations=%d\n",
+			p.Gamma, p.FoundPair, p.BestCost, p.Evaluations)
+	}
+	return nil
+}
+
+func runDRL(seed int64, _ bool) error {
+	header("DRL comparison — MCTS vs episodic Q-learning (paper §VII)")
+	res, err := experiments.DRLComparison(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload cost: base=%.0f  MCTS=%.0f  Q-learning=%.0f\n",
+		res.BaseCost, res.MCTSCost, res.RLCost)
+	fmt.Printf("price: MCTS %d evaluations in %dms; RL %d evaluations / %d interactions in %dms\n",
+		res.MCTSEvaluations, res.MCTSMillis, res.RLEvaluations, res.RLInteractions, res.RLMillis)
+	fmt.Printf("removes a planted harmful index: MCTS=%v, RL=%v (add-only action space)\n",
+		res.MCTSRemovesHarmful, res.RLRemovesHarmful)
+	return nil
+}
+
+func runQ32(seed int64, _ bool) error {
+	header("Q32 motivation — correlated index pair (paper §III)")
+	res, err := experiments.Q32Correlated(seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("no indexes:   %10.1f\n", res.BaseCost)
+	fmt.Printf("item only:    %10.1f\n", res.ItemIndexOnly)
+	fmt.Printf("join only:    %10.1f\n", res.DateIndexOnly)
+	fmt.Printf("both:         %10.1f\n", res.BothIndexes)
+	fmt.Printf("MCTS finds the pair: %v (in %dms)\n", res.MCTSPicksPair, res.TuneMillis)
+	return nil
+}

@@ -1,0 +1,73 @@
+// Dynamic tuning loop: the paper's Fig.-9 setting. A TPC-C-style stream
+// shifts its transaction mix every epoch; AutoIndex re-tunes at each epoch
+// boundary, ages its template store when the workload drifts, and keeps the
+// index set matched to the live mix — the incremental loop a DBA would
+// otherwise run by hand.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/autoindex"
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/mcts"
+	"repro/internal/workload/tpcc"
+)
+
+func main() {
+	db := engine.New()
+	loader := tpcc.NewLoader(1, 13)
+	if err := loader.Load(db); err != nil {
+		log.Fatal(err)
+	}
+	mgr := autoindex.New(db, autoindex.Options{
+		MCTS: mcts.Config{Iterations: 120, Seed: 13, EarlyStopRounds: 40},
+	})
+
+	epochs := []struct {
+		name string
+		mix  tpcc.Mix
+	}{
+		{"standard mix", tpcc.StandardMix()},
+		{"write-heavy mix", tpcc.WriteHeavyMix()},
+		{"read-heavy mix", tpcc.ReadHeavyMix()},
+		{"standard mix again", tpcc.StandardMix()},
+	}
+
+	for i, ep := range epochs {
+		stmts := harness.Flatten(loader.Transactions(200, ep.mix))
+		run, err := harness.RunAndObserve(db, stmts, mgr.Observe)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("epoch %d (%s): %d stmts, cost=%.0f, throughput=%.3f\n",
+			i+1, ep.name, run.Statements, run.TotalCost, run.Throughput())
+
+		// Epoch boundary: tune against what this epoch actually ran.
+		rec, err := mgr.Recommend()
+		if err != nil {
+			log.Fatal(err)
+		}
+		created, dropped, err := mgr.Apply(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if created+dropped > 0 {
+			fmt.Printf("  re-tuned: +%d/-%d indexes (estimated benefit %.0f, %d templates, %v)\n",
+				created, dropped, rec.EstimatedBenefit, rec.TemplatesUsed, rec.Duration.Round(1000000))
+			for _, spec := range rec.Create {
+				fmt.Printf("    + %s %v\n", spec.Table, spec.Columns)
+			}
+			for _, name := range rec.Drop {
+				fmt.Printf("    - %s\n", name)
+			}
+		} else {
+			fmt.Println("  configuration already fits this mix")
+		}
+
+		// Let the template store drift with the workload (paper §IV-C).
+		mgr.TemplateStore().Decay(0.3, 0.5)
+	}
+}

@@ -1,0 +1,432 @@
+// Package autoindex is the system core: the incremental index management
+// pipeline of the paper. It observes the query stream through SQL2Template,
+// diagnoses index problems, generates candidate indexes from matched
+// templates, searches the policy tree with MCTS under the storage budget,
+// prices every configuration with the (optionally learned) benefit
+// estimator, and applies the recommendation by creating/dropping real
+// indexes in the engine.
+package autoindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/candgen"
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/diagnosis"
+	"repro/internal/engine"
+	"repro/internal/mcts"
+	"repro/internal/template"
+	"repro/internal/workload"
+)
+
+// Options configure the manager.
+type Options struct {
+	// Budget caps total secondary-index bytes (<=0: unlimited).
+	Budget int64
+	// TemplateCapacity bounds the SQL2Template store.
+	TemplateCapacity int
+	// MCTS carries the search configuration (Budget is overridden by the
+	// manager's Budget).
+	MCTS mcts.Config
+	// Diagnosis thresholds.
+	Diagnosis diagnosis.Config
+	// MaxCandidates bounds the candidate pool handed to MCTS (top-weighted
+	// first); <=0 means 24.
+	MaxCandidates int
+	// DecayFactor and DecayMinFreq drive template aging on workload shifts.
+	DecayFactor  float64
+	DecayMinFreq float64
+	// StalenessWindow (ticks) and StalenessTrigger for workload-shift
+	// detection.
+	StalenessWindow  int64
+	StalenessTrigger float64
+	// EstimatorParallelism > 1 plans workload templates concurrently during
+	// what-if estimation. Off by default: parallel float summation is not
+	// bit-reproducible, and the experiments pin exact determinism.
+	EstimatorParallelism int
+	// UseForecast makes tuning rounds weight templates by their EWMA trend
+	// (predicted next-window mix, paper §IV-C) instead of cumulative
+	// frequency. Call CloseWindow at round boundaries to feed the trend.
+	UseForecast bool
+	// ForecastAlpha is the EWMA smoothing factor (default 0.5).
+	ForecastAlpha float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 24
+	}
+	if o.DecayFactor == 0 {
+		o.DecayFactor = 0.5
+	}
+	if o.DecayMinFreq == 0 {
+		o.DecayMinFreq = 0.5
+	}
+	if o.StalenessWindow == 0 {
+		o.StalenessWindow = 10000
+	}
+	if o.StalenessTrigger == 0 {
+		o.StalenessTrigger = 0.7
+	}
+	if o.ForecastAlpha == 0 {
+		o.ForecastAlpha = 0.5
+	}
+	return o
+}
+
+// Manager is the AutoIndex system bound to one database.
+type Manager struct {
+	db        *engine.DB
+	opts      Options
+	store     *template.Store
+	estimator *costmodel.Estimator
+	generator *candgen.Generator
+	// samples accumulates training data for the benefit estimator.
+	samples []costmodel.Sample
+}
+
+// New creates a manager over a live database.
+func New(db *engine.DB, opts Options) *Manager {
+	opts = opts.withDefaults()
+	est := costmodel.NewEstimator(db.Catalog())
+	est.Parallelism = opts.EstimatorParallelism
+	return &Manager{
+		db:        db,
+		opts:      opts,
+		store:     template.NewStore(opts.TemplateCapacity),
+		estimator: est,
+		generator: candgen.NewGenerator(db.Catalog()),
+	}
+}
+
+// Estimator exposes the benefit estimator (for training and ablation).
+func (m *Manager) Estimator() *costmodel.Estimator { return m.estimator }
+
+// TemplateStore exposes the SQL2Template store.
+func (m *Manager) TemplateStore() *template.Store { return m.store }
+
+// Observe routes one executed statement into the template store. Call it
+// for every workload statement (or use Attach to hook the engine directly).
+func (m *Manager) Observe(sql string) error {
+	_, _, err := m.store.ObserveSQL(sql)
+	return err
+}
+
+// Attach installs the manager as the database's statement observer: every
+// DML statement executed through db.Exec flows into the template store
+// automatically (the paper's in-server workload logging). DDL — including
+// the manager's own CREATE/DROP INDEX — is not recorded. Detach removes it.
+func (m *Manager) Attach() {
+	m.db.SetObserver(func(sql string) {
+		trimmed := strings.TrimLeft(sql, " \t\n")
+		if len(trimmed) < 6 {
+			return
+		}
+		switch strings.ToUpper(trimmed[:6]) {
+		case "SELECT", "INSERT", "UPDATE", "DELETE":
+			_ = m.Observe(sql)
+		}
+	})
+}
+
+// Detach removes the statement observer.
+func (m *Manager) Detach() { m.db.SetObserver(nil) }
+
+// LogSample records one (features, measured cost) pair for estimator
+// training. The harness calls this while executing workloads.
+func (m *Manager) LogSample(s costmodel.Sample) { m.samples = append(m.samples, s) }
+
+// TrainEstimator fits the deep regression model on the logged samples.
+func (m *Manager) TrainEstimator() error {
+	if err := m.estimator.Train(m.samples); err != nil {
+		return err
+	}
+	return nil
+}
+
+// SampleCount returns how many training samples are logged.
+func (m *Manager) SampleCount() int { return len(m.samples) }
+
+// Diagnose runs the index diagnosis over the current window.
+func (m *Manager) Diagnose() (*diagnosis.Report, error) {
+	w := m.store.Workload()
+	return diagnosis.Diagnose(m.db.Catalog(), m.db.IndexUsage(), m.db.StatementCount(),
+		w, m.estimator, m.generator, m.opts.Diagnosis)
+}
+
+// Recommendation is the outcome of one tuning round.
+type Recommendation struct {
+	// Create lists index specs to build; Drop lists index names to drop.
+	Create []*catalog.IndexMeta
+	Drop   []string
+	// EstimatedBenefit is the estimator's predicted workload cost reduction.
+	EstimatedBenefit float64
+	// BaseCost/BestCost are estimator costs before/after.
+	BaseCost, BestCost float64
+	// CandidateCount is the size of the generated candidate pool.
+	CandidateCount int
+	// Evaluations counts estimator configuration evaluations in MCTS.
+	Evaluations int
+	// Duration is the wall-clock tuning time (management overhead metric).
+	Duration time.Duration
+	// TemplatesUsed is the number of templates the workload compressed to.
+	TemplatesUsed int
+}
+
+// Recommend runs one full tuning round — candidate generation from the
+// compressed workload, then MCTS over add/remove actions — without applying
+// anything. With UseForecast set, the round tunes for the predicted
+// next-window template mix.
+func (m *Manager) Recommend() (*Recommendation, error) {
+	if m.opts.UseForecast {
+		return m.recommendOn(m.store.ForecastWorkload())
+	}
+	return m.recommendOn(m.store.Workload())
+}
+
+// CloseWindow marks a tuning-round boundary for trend tracking (no-op
+// unless UseForecast consumers call it; safe to call regardless).
+func (m *Manager) CloseWindow() {
+	m.store.CloseWindow(m.opts.ForecastAlpha)
+}
+
+// RecommendOn tunes against an explicit workload (bypassing the template
+// store); used by the query-level ablation and tests.
+func (m *Manager) RecommendOn(w *workload.Workload) (*Recommendation, error) {
+	return m.recommendOn(w)
+}
+
+func (m *Manager) recommendOn(w *workload.Workload) (*Recommendation, error) {
+	start := time.Now()
+	if len(w.Queries) == 0 {
+		return &Recommendation{Duration: time.Since(start)}, nil
+	}
+
+	cands := m.generator.Generate(w)
+	if len(cands) > m.opts.MaxCandidates {
+		cands = cands[:m.opts.MaxCandidates]
+	}
+	pool := make([]*catalog.IndexMeta, len(cands))
+	for i, c := range cands {
+		pool[i] = c.Meta
+	}
+
+	existing := m.realSecondaryIndexes()
+
+	cfg := m.opts.MCTS
+	// The budget is enforced against hypothetical size estimates (that is
+	// all an advisor has before building); real indexes can land a fraction
+	// of a percent larger. A safety margin here would be worse than the
+	// drift: at tight budgets it excludes exactly the large, high-benefit
+	// index that just fits.
+	cfg.Budget = m.opts.Budget
+	eval := mcts.EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+		return m.estimator.WorkloadCost(w, active)
+	})
+	res, err := mcts.Search(eval, existing, pool, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	rec := &Recommendation{
+		EstimatedBenefit: res.Benefit(),
+		BaseCost:         res.BaseCost,
+		BestCost:         res.BestCost,
+		CandidateCount:   len(pool),
+		Evaluations:      res.Evaluations,
+		TemplatesUsed:    len(w.Queries),
+	}
+	// Map diff keys back to specs/names.
+	byKey := make(map[string]*catalog.IndexMeta)
+	for _, p := range pool {
+		byKey[p.Key()] = p
+	}
+	for _, k := range res.AddedKeys {
+		if spec, ok := byKey[k]; ok {
+			rec.Create = append(rec.Create, spec)
+		}
+	}
+	// Drop freeloaders: a created index whose removal from the final set
+	// does not raise the estimated cost contributed nothing (deep rollouts
+	// can carry such passengers into the best configuration). Correlated
+	// pairs survive — removing either member raises the cost.
+	if len(rec.Create) > 1 {
+		kept := rec.Create[:0]
+		final := res.Indexes
+		finalCost := res.BestCost
+		for _, spec := range rec.Create {
+			without := make([]*catalog.IndexMeta, 0, len(final)-1)
+			for _, m2 := range final {
+				if m2.Key() != spec.Key() {
+					without = append(without, m2)
+				}
+			}
+			c, err := m.estimator.WorkloadCost(w, without)
+			if err != nil {
+				return nil, err
+			}
+			if c > finalCost*(1+1e-9) {
+				kept = append(kept, spec)
+			} else {
+				// Neutral passenger: permanently shrink the final set.
+				final = without
+				finalCost = c
+			}
+		}
+		rec.Create = kept
+		rec.BestCost = finalCost
+		rec.EstimatedBenefit = rec.BaseCost - finalCost
+	}
+	removed := make(map[string]bool, len(res.RemovedKeys))
+	for _, k := range res.RemovedKeys {
+		removed[k] = true
+	}
+	for _, m2 := range existing {
+		if removed[m2.Key()] {
+			rec.Drop = append(rec.Drop, m2.Name)
+		}
+	}
+	sort.Strings(rec.Drop)
+	rec.Duration = time.Since(start)
+	return rec, nil
+}
+
+// Apply executes a recommendation: drops first (freeing budget), then
+// creates. Returns the number of indexes created and dropped.
+func (m *Manager) Apply(rec *Recommendation) (created, dropped int, err error) {
+	for _, name := range rec.Drop {
+		if err := m.db.DropIndex(name); err != nil {
+			return created, dropped, fmt.Errorf("autoindex: drop %s: %w", name, err)
+		}
+		dropped++
+	}
+	for _, spec := range rec.Create {
+		name := buildName(spec)
+		if m.db.Catalog().Index(name) != nil {
+			continue
+		}
+		local := ""
+		if spec.Local {
+			local = "LOCAL "
+		}
+		stmt := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", local, name, spec.Table,
+			strings.Join(spec.Columns, ", "))
+		if _, err := m.db.Exec(stmt); err != nil {
+			return created, dropped, fmt.Errorf("autoindex: create %s: %w", name, err)
+		}
+		created++
+	}
+	return created, dropped, nil
+}
+
+// PruneRecommendation identifies wholesale-removable indexes: real secondary
+// indexes that were never probed during the observation window AND whose
+// removal does not increase the estimated workload cost. This is the bulk
+// path of the paper's Fig.-1 banking removal — the policy tree then only has
+// to reason about the contested indexes. Returns the names to drop.
+func (m *Manager) PruneRecommendation(w *workload.Workload) ([]string, error) {
+	usage := m.db.IndexUsage()
+	existing := m.realSecondaryIndexes()
+	if len(w.Queries) == 0 {
+		return nil, nil
+	}
+	base, err := m.estimator.WorkloadCost(w, existing)
+	if err != nil {
+		return nil, err
+	}
+	var drops []string
+	keep := append([]*catalog.IndexMeta{}, existing...)
+	for _, idx := range existing {
+		if usage[idx.Name] > 0 {
+			continue
+		}
+		without := make([]*catalog.IndexMeta, 0, len(keep)-1)
+		for _, k := range keep {
+			if k != idx {
+				without = append(without, k)
+			}
+		}
+		c, err := m.estimator.WorkloadCost(w, without)
+		if err != nil {
+			return nil, err
+		}
+		// Non-increasing cost (tiny tolerance for estimator noise).
+		if c <= base*1.0001 {
+			drops = append(drops, idx.Name)
+			keep = without
+			base = c
+		}
+	}
+	sort.Strings(drops)
+	return drops, nil
+}
+
+// ApplyDrops drops the named indexes, returning how many were dropped.
+func (m *Manager) ApplyDrops(names []string) (int, error) {
+	dropped := 0
+	for _, n := range names {
+		if err := m.db.DropIndex(n); err != nil {
+			return dropped, err
+		}
+		dropped++
+	}
+	return dropped, nil
+}
+
+// Tune is the full loop: handle workload drift (decay stale templates),
+// diagnose, and when tuning is needed (or force is set), recommend and
+// apply. It returns the recommendation (nil when no tuning happened).
+func (m *Manager) Tune(force bool) (*Recommendation, error) {
+	m.MaybeDecayTemplates()
+	if !force {
+		rep, err := m.Diagnose()
+		if err != nil {
+			return nil, err
+		}
+		if !rep.NeedsTuning {
+			return nil, nil
+		}
+	}
+	rec, err := m.Recommend()
+	if err != nil {
+		return nil, err
+	}
+	if _, _, err := m.Apply(rec); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// MaybeDecayTemplates applies the paper's workload-shift handling: when most
+// templates are stale, decay frequencies and drop cold templates.
+func (m *Manager) MaybeDecayTemplates() bool {
+	if m.store.StalenessRatio(m.opts.StalenessWindow) >= m.opts.StalenessTrigger {
+		m.store.Decay(m.opts.DecayFactor, m.opts.DecayMinFreq)
+		return true
+	}
+	return false
+}
+
+// realSecondaryIndexes lists droppable (non-PK, real) indexes.
+func (m *Manager) realSecondaryIndexes() []*catalog.IndexMeta {
+	var out []*catalog.IndexMeta
+	for _, idx := range m.db.Catalog().Indexes(false) {
+		if strings.HasPrefix(idx.Name, "pk_") {
+			continue
+		}
+		out = append(out, idx)
+	}
+	return out
+}
+
+func buildName(spec *catalog.IndexMeta) string {
+	name := "ai_" + spec.Table + "_" + strings.Join(spec.Columns, "_")
+	if spec.Local {
+		name += "_local"
+	}
+	return name
+}

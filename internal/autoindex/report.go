@@ -1,0 +1,77 @@
+package autoindex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StateReport is a human-readable summary of the managed database's index
+// health: what exists, how big, how often probed, and what the template
+// store currently believes about the workload.
+type StateReport struct {
+	Tables           int
+	SecondaryIndexes int
+	IndexBytes       int64
+	Templates        int
+	TemplateMatches  int64
+	TemplateMisses   int64
+	Statements       int64
+	// Lines is the formatted per-index breakdown.
+	Lines []string
+}
+
+// String renders the report.
+func (r *StateReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tables=%d secondary_indexes=%d index_bytes=%d\n",
+		r.Tables, r.SecondaryIndexes, r.IndexBytes)
+	fmt.Fprintf(&b, "templates=%d (matches=%d misses=%d) statements=%d\n",
+		r.Templates, r.TemplateMatches, r.TemplateMisses, r.Statements)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Report summarizes the current state.
+func (m *Manager) Report() *StateReport {
+	rep := &StateReport{
+		Tables:     len(m.db.Catalog().Tables()),
+		Templates:  m.store.Len(),
+		Statements: m.db.StatementCount(),
+	}
+	rep.TemplateMatches, rep.TemplateMisses = m.store.MatchStats()
+	usage := m.db.IndexUsage()
+
+	type rowT struct {
+		name  string
+		line  string
+		bytes int64
+	}
+	var rows []rowT
+	for _, idx := range m.db.Catalog().Indexes(false) {
+		if strings.HasPrefix(idx.Name, "pk_") {
+			continue
+		}
+		rep.SecondaryIndexes++
+		rep.IndexBytes += idx.SizeBytes
+		kind := "global"
+		if idx.Local {
+			kind = "local"
+		}
+		rows = append(rows, rowT{
+			name:  idx.Name,
+			bytes: idx.SizeBytes,
+			line: fmt.Sprintf("  %-32s %s(%s) %-6s %9dB h=%d n=%d probes=%d",
+				idx.Name, idx.Table, strings.Join(idx.Columns, ","), kind,
+				idx.SizeBytes, idx.Height, idx.NumTuples, usage[idx.Name]),
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].bytes > rows[j].bytes })
+	for _, r := range rows {
+		rep.Lines = append(rep.Lines, r.line)
+	}
+	return rep
+}

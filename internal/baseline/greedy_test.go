@@ -1,0 +1,149 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/candgen"
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/workload"
+)
+
+// greedyDB builds a database with two independent index opportunities of
+// different sizes.
+func greedyDB(t *testing.T) (*engine.DB, *workload.Workload) {
+	t.Helper()
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE ev (id BIGINT, a BIGINT, b BIGINT, c BIGINT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	var ins []string
+	for i := 0; i < 3000; i++ {
+		ins = append(ins, fmt.Sprintf(
+			"INSERT INTO ev (id, a, b, c) VALUES (%d, %d, %d, %d)", i, i%600, i%500, i%5))
+	}
+	harness.Run(db, ins)
+	if err := db.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	w := &workload.Workload{}
+	w.MustAdd("SELECT * FROM ev WHERE a = 7", 100)
+	w.MustAdd("SELECT * FROM ev WHERE b = 9", 60)
+	return db, w
+}
+
+func TestGreedySelectsByMarginalBenefit(t *testing.T) {
+	db, w := greedyDB(t)
+	est := costmodel.NewEstimator(db.Catalog())
+	gen := candgen.NewGenerator(db.Catalog())
+	res, err := Greedy(est, gen, w, nil, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 2 {
+		t.Fatalf("want both indexes, got %v", keys(res.Selected))
+	}
+	if res.FinalCost >= res.BaseCost {
+		t.Errorf("greedy should improve cost: %v -> %v", res.BaseCost, res.FinalCost)
+	}
+	for _, b := range res.PerIndexBenefit {
+		if b <= 0 {
+			t.Errorf("selected index with non-positive marginal benefit: %v", res.PerIndexBenefit)
+		}
+	}
+}
+
+func TestGreedyRespectsBudget(t *testing.T) {
+	db, w := greedyDB(t)
+	est := costmodel.NewEstimator(db.Catalog())
+	gen := candgen.NewGenerator(db.Catalog())
+	unlimited, err := Greedy(est, gen, w, nil, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unlimited.Selected) == 0 {
+		t.Fatal("need selections to test budget")
+	}
+	one := unlimited.Selected[0].SizeBytes
+	res, err := Greedy(est, gen, w, nil, GreedyOptions{Budget: one + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SizeBytes > one+1 {
+		t.Errorf("budget exceeded: %d > %d", res.SizeBytes, one+1)
+	}
+	if len(res.Selected) != 1 {
+		t.Errorf("tight budget should cap at one index: %v", keys(res.Selected))
+	}
+}
+
+func TestGreedyMaxIndexes(t *testing.T) {
+	db, w := greedyDB(t)
+	est := costmodel.NewEstimator(db.Catalog())
+	gen := candgen.NewGenerator(db.Catalog())
+	res, err := Greedy(est, gen, w, nil, GreedyOptions{MaxIndexes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 1 {
+		t.Errorf("MaxIndexes=1: got %d", len(res.Selected))
+	}
+	// The single pick must be the higher-benefit one (a, weight 100).
+	if res.Selected[0].Key() != "ev(a)" {
+		t.Errorf("greedy should pick highest benefit first: %v", keys(res.Selected))
+	}
+}
+
+func TestGreedyNeverSelectsHarmful(t *testing.T) {
+	db, _ := greedyDB(t)
+	est := costmodel.NewEstimator(db.Catalog())
+	gen := candgen.NewGenerator(db.Catalog())
+	// Write-only workload: any index is pure overhead.
+	w := &workload.Workload{}
+	w.MustAdd("INSERT INTO ev (id, a, b, c) VALUES (99999, 1, 2, 3)", 500)
+	res, err := Greedy(est, gen, w, nil, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) != 0 {
+		t.Errorf("write-only workload must select nothing: %v", keys(res.Selected))
+	}
+}
+
+func TestGreedyPerQueryModeMoreExpensive(t *testing.T) {
+	db, _ := greedyDB(t)
+	est := costmodel.NewEstimator(db.Catalog())
+	gen := candgen.NewGenerator(db.Catalog())
+	// Many distinct-literal queries: per-query mode does one generator pass
+	// each; template mode (the workload here is already compressed) does one.
+	w := &workload.Workload{}
+	for i := 0; i < 50; i++ {
+		w.MustAdd(fmt.Sprintf("SELECT * FROM ev WHERE a = %d", i), 1)
+	}
+	tmplRes, err := Greedy(est, gen, w, nil, GreedyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pqRes, err := Greedy(est, gen, w, nil, GreedyOptions{PerQuery: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both should find ev(a); selections agree.
+	if len(tmplRes.Selected) == 0 || len(pqRes.Selected) == 0 {
+		t.Fatal("both modes should select ev(a)")
+	}
+	if tmplRes.Selected[0].Key() != pqRes.Selected[0].Key() {
+		t.Error("modes should agree on the winner")
+	}
+}
+
+func keys(ms []*catalog.IndexMeta) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Key()
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+// Q-learning index selection: the DRL-style baseline the paper's related
+// work discusses ([21] SmartIX, [25] DBA bandits) and argues against for
+// dynamic workloads. This is a faithful miniature: tabular Q-learning over
+// index-set states with add-one-index actions, episodic training against
+// the same what-if estimator, ε-greedy exploration. It demonstrates the
+// paper's two criticisms concretely — it needs many episodes (every episode
+// re-prices the workload) and its policy has no remove action, so it cannot
+// walk back once the workload shifts.
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/costmodel"
+	"repro/internal/workload"
+)
+
+// QLearningOptions tune the agent.
+type QLearningOptions struct {
+	Episodes int     // training episodes (default 150)
+	MaxSteps int     // actions per episode (default = #candidates)
+	Alpha    float64 // learning rate (default 0.3)
+	Gamma    float64 // discount (default 0.9)
+	Epsilon  float64 // exploration rate (default 0.2)
+	Budget   int64   // storage cap (<=0 unlimited)
+	Seed     int64
+}
+
+func (o QLearningOptions) withDefaults(nCands int) QLearningOptions {
+	if o.Episodes <= 0 {
+		o.Episodes = 150
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = nCands
+	}
+	if o.Alpha == 0 {
+		o.Alpha = 0.3
+	}
+	if o.Gamma == 0 {
+		o.Gamma = 0.9
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = 0.2
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// QLearningResult reports the trained agent's greedy rollout.
+type QLearningResult struct {
+	Selected  []*catalog.IndexMeta
+	BaseCost  float64
+	FinalCost float64
+	// Evaluations counts unique configurations priced (post-cache);
+	// Interactions counts every environment step the agent took — the
+	// paper's "extremely long training time" criticism in one number.
+	Evaluations  int
+	Interactions int
+	Episodes     int
+	Duration     time.Duration
+}
+
+// QLearning trains the agent on the workload and returns its greedy policy
+// rollout as the selected index set.
+func QLearning(est *costmodel.Estimator, w *workload.Workload,
+	candidates []*catalog.IndexMeta, opts QLearningOptions) (*QLearningResult, error) {
+
+	start := time.Now()
+	opts = opts.withDefaults(len(candidates))
+	rng := rand.New(rand.NewSource(opts.Seed))
+	res := &QLearningResult{Episodes: opts.Episodes}
+
+	// Memoized workload pricing by state key.
+	costCache := make(map[string]float64)
+	price := func(state []bool) (float64, error) {
+		res.Interactions++
+		key := stateKey(state)
+		if c, ok := costCache[key]; ok {
+			return c, nil
+		}
+		var active []*catalog.IndexMeta
+		for i, on := range state {
+			if on {
+				active = append(active, candidates[i])
+			}
+		}
+		c, err := est.WorkloadCost(w, active)
+		if err != nil {
+			return 0, err
+		}
+		res.Evaluations++
+		costCache[key] = c
+		return c, nil
+	}
+
+	base, err := price(make([]bool, len(candidates)))
+	if err != nil {
+		return nil, err
+	}
+	res.BaseCost = base
+	res.FinalCost = base
+	if len(candidates) == 0 {
+		res.Duration = time.Since(start)
+		return res, nil
+	}
+
+	// Q[stateKey][action] — tabular.
+	q := make(map[string][]float64)
+	qRow := func(key string) []float64 {
+		row, ok := q[key]
+		if !ok {
+			row = make([]float64, len(candidates))
+			q[key] = row
+		}
+		return row
+	}
+
+	legal := func(state []bool, size int64) []int {
+		var acts []int
+		for i, on := range state {
+			if on {
+				continue
+			}
+			if opts.Budget > 0 && size+candidates[i].SizeBytes > opts.Budget {
+				continue
+			}
+			acts = append(acts, i)
+		}
+		return acts
+	}
+
+	for ep := 0; ep < opts.Episodes; ep++ {
+		state := make([]bool, len(candidates))
+		var size int64
+		cur := base
+		for step := 0; step < opts.MaxSteps; step++ {
+			acts := legal(state, size)
+			if len(acts) == 0 {
+				break
+			}
+			key := stateKey(state)
+			row := qRow(key)
+			var a int
+			if rng.Float64() < opts.Epsilon {
+				a = acts[rng.Intn(len(acts))]
+			} else {
+				a = acts[0]
+				for _, cand := range acts {
+					if row[cand] > row[a] {
+						a = cand
+					}
+				}
+			}
+			state[a] = true
+			size += candidates[a].SizeBytes
+			next, err := price(state)
+			if err != nil {
+				return nil, err
+			}
+			reward := cur - next // cost reduction of the step
+			cur = next
+
+			nextRow := qRow(stateKey(state))
+			bestNext := 0.0
+			for _, v := range nextRow {
+				if v > bestNext {
+					bestNext = v
+				}
+			}
+			row[a] += opts.Alpha * (reward + opts.Gamma*bestNext - row[a])
+		}
+	}
+
+	// Greedy rollout of the learned policy; stop when the best Q-value is
+	// non-positive (the policy sees no further gain).
+	state := make([]bool, len(candidates))
+	var size int64
+	for {
+		acts := legal(state, size)
+		if len(acts) == 0 {
+			break
+		}
+		row := qRow(stateKey(state))
+		best, bestV := -1, 0.0
+		for _, a := range acts {
+			if row[a] > bestV {
+				best, bestV = a, row[a]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		state[best] = true
+		size += candidates[best].SizeBytes
+	}
+	final, err := price(state)
+	if err != nil {
+		return nil, err
+	}
+	res.FinalCost = final
+	for i, on := range state {
+		if on {
+			res.Selected = append(res.Selected, candidates[i])
+		}
+	}
+	sort.Slice(res.Selected, func(i, j int) bool {
+		return res.Selected[i].Key() < res.Selected[j].Key()
+	})
+	res.Duration = time.Since(start)
+	return res, nil
+}
+
+func stateKey(state []bool) string {
+	var b strings.Builder
+	for _, on := range state {
+		if on {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package btree
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func BenchmarkInsertSequential(b *testing.B) {
+	tr := New(DefaultOrder)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(sqltypes.Key{sqltypes.NewInt(int64(i))}, RID{})
+	}
+}
+
+func BenchmarkInsertRandom(b *testing.B) {
+	tr := New(DefaultOrder)
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]sqltypes.Key, b.N)
+	for i := range keys {
+		keys[i] = sqltypes.Key{sqltypes.NewInt(rng.Int63())}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(keys[i], RID{})
+	}
+}
+
+func BenchmarkSearchEq(b *testing.B) {
+	tr := New(DefaultOrder)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(sqltypes.Key{sqltypes.NewInt(int64(i))}, RID{Page: int32(i)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.SearchEq(sqltypes.Key{sqltypes.NewInt(int64(i % 100000))})
+	}
+}
+
+func BenchmarkRangeScan100(b *testing.B) {
+	tr := New(DefaultOrder)
+	for i := 0; i < 100000; i++ {
+		tr.Insert(sqltypes.Key{sqltypes.NewInt(int64(i))}, RID{})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := int64(i % 99000)
+		count := 0
+		tr.ScanRange(sqltypes.Key{sqltypes.NewInt(lo)}, sqltypes.Key{sqltypes.NewInt(lo + 100)},
+			true, false, func(e Entry) bool { count++; return true })
+	}
+}
+
+func BenchmarkCompositeKeyInsert(b *testing.B) {
+	tr := New(DefaultOrder)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(sqltypes.Key{
+			sqltypes.NewInt(int64(i % 1000)),
+			sqltypes.NewString("status"),
+			sqltypes.NewInt(int64(i)),
+		}, RID{})
+	}
+}

@@ -1,0 +1,76 @@
+// Package candgen implements template-based candidate index generation
+// (paper §IV-A): for each query template it extracts expressions from the
+// WHERE / JOIN / GROUP / ORDER clauses, rewrites boolean predicates into
+// Disjunctive Normal Form to get a unified factorization, applies the
+// selectivity threshold, derives single- and multi-column candidate indexes,
+// and finally dedups/merges them by the leftmost matching principle against
+// each other and against existing indexes.
+package candgen
+
+import (
+	"repro/internal/sqlparser"
+)
+
+// toDNF rewrites a boolean expression into disjunctive normal form: a slice
+// of conjunct lists, each inner slice being one AND-branch of atoms.
+// Depth is bounded to avoid exponential blowup on adversarial predicates;
+// beyond the bound the expression is treated as an opaque atom.
+func toDNF(e sqlparser.Expr) [][]sqlparser.Expr {
+	return dnfRec(e, 0)
+}
+
+const maxDNFDepth = 12
+
+func dnfRec(e sqlparser.Expr, depth int) [][]sqlparser.Expr {
+	if e == nil {
+		return nil
+	}
+	if depth > maxDNFDepth {
+		return [][]sqlparser.Expr{{e}}
+	}
+	switch v := e.(type) {
+	case *sqlparser.BinaryExpr:
+		switch v.Op {
+		case sqlparser.OpOr:
+			l := dnfRec(v.L, depth+1)
+			r := dnfRec(v.R, depth+1)
+			return append(l, r...)
+		case sqlparser.OpAnd:
+			l := dnfRec(v.L, depth+1)
+			r := dnfRec(v.R, depth+1)
+			// distribute: every l-branch with every r-branch
+			out := make([][]sqlparser.Expr, 0, len(l)*len(r))
+			for _, lb := range l {
+				for _, rb := range r {
+					branch := make([]sqlparser.Expr, 0, len(lb)+len(rb))
+					branch = append(branch, lb...)
+					branch = append(branch, rb...)
+					out = append(out, branch)
+				}
+			}
+			return out
+		default:
+			return [][]sqlparser.Expr{{e}}
+		}
+	case *sqlparser.NotExpr:
+		// Push NOT over connectives (De Morgan); atoms stay wrapped.
+		switch inner := v.E.(type) {
+		case *sqlparser.BinaryExpr:
+			switch inner.Op {
+			case sqlparser.OpAnd:
+				return dnfRec(&sqlparser.BinaryExpr{Op: sqlparser.OpOr,
+					L: &sqlparser.NotExpr{E: inner.L},
+					R: &sqlparser.NotExpr{E: inner.R}}, depth+1)
+			case sqlparser.OpOr:
+				return dnfRec(&sqlparser.BinaryExpr{Op: sqlparser.OpAnd,
+					L: &sqlparser.NotExpr{E: inner.L},
+					R: &sqlparser.NotExpr{E: inner.R}}, depth+1)
+			}
+		case *sqlparser.NotExpr:
+			return dnfRec(inner.E, depth+1)
+		}
+		return [][]sqlparser.Expr{{e}}
+	default:
+		return [][]sqlparser.Expr{{e}}
+	}
+}

@@ -1,0 +1,376 @@
+// Package catalog holds the schema metadata and per-column statistics the
+// planner, the hypothetical-index estimator and the candidate generator all
+// consult: table and column definitions, row counts, distinct-value counts,
+// min/max bounds, equi-depth histograms, and index descriptors.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sqltypes"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type sqltypes.Kind
+	Pos  int // ordinal position in the tuple
+}
+
+// ColumnStats summarizes the value distribution of one column, refreshed by
+// ANALYZE (engine.Analyze). The planner derives selectivities from it.
+type ColumnStats struct {
+	NumRows      int64
+	NumDistinct  int64
+	NullFraction float64
+	Min, Max     sqltypes.Value
+	// Histogram holds equi-depth bucket upper bounds (ascending). Empty for
+	// unanalyzed columns; the planner falls back to default selectivities.
+	Histogram []sqltypes.Value
+	// AvgWidth is the mean encoded byte width of values in this column.
+	AvgWidth float64
+}
+
+// IndexMeta describes an index (real or hypothetical).
+type IndexMeta struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	// Local marks a per-partition index on a hash-partitioned table: one
+	// tree per partition. A lookup that binds the partition column probes a
+	// single (shallower) tree; otherwise all partitions are probed. Global
+	// indexes (Local=false) keep one tree over all partitions — faster for
+	// non-partition-key lookups, larger on disk (paper §III).
+	Local bool
+	// Hypothetical marks what-if indexes that exist only for planning.
+	Hypothetical bool
+	// Disabled hides the index from the planner without dropping it; the
+	// what-if estimator uses this to price index *removal* before doing it.
+	Disabled bool
+	// SizeBytes is the (estimated, for hypothetical) on-disk footprint.
+	SizeBytes int64
+	// Height is the B+Tree height (estimated for hypothetical).
+	Height int
+	// NumTuples is the number of index entries.
+	NumTuples int64
+	// NumPages is the leaf+internal page count.
+	NumPages int64
+}
+
+// Key returns the canonical identity of an index: table + column list, plus
+// the local marker — a local and a global index on the same columns are
+// distinct alternatives the search chooses between. Two indexes with the
+// same key are duplicates regardless of name.
+func (m *IndexMeta) Key() string {
+	k := m.Table + "(" + strings.Join(m.Columns, ",") + ")"
+	if m.Local {
+		k += "/local"
+	}
+	return k
+}
+
+// Covers reports whether the index's column prefix covers the given columns
+// in order (leftmost matching principle).
+func (m *IndexMeta) Covers(cols []string) bool {
+	if len(cols) > len(m.Columns) {
+		return false
+	}
+	for i, c := range cols {
+		if m.Columns[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// Table describes a table with its columns and primary key.
+type Table struct {
+	Name       string
+	Columns    []Column
+	PrimaryKey []string
+	colByName  map[string]*Column
+	Stats      map[string]*ColumnStats // column name → stats
+	NumRows    int64
+	// AvgTupleBytes is the mean encoded tuple width; used for heap sizing.
+	AvgTupleBytes float64
+	// PartitionBy / Partitions describe hash partitioning ("", 0 when the
+	// table is unpartitioned).
+	PartitionBy string
+	Partitions  int
+}
+
+// IsPartitioned reports whether the table is hash-partitioned.
+func (t *Table) IsPartitioned() bool { return t.Partitions > 1 }
+
+// Column returns the column descriptor by name, or nil.
+func (t *Table) Column(name string) *Column {
+	return t.colByName[name]
+}
+
+// ColumnNames returns the ordered column names.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Catalog is the schema registry for one database.
+type Catalog struct {
+	tables  map[string]*Table
+	indexes map[string]*IndexMeta // by index name
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*IndexMeta),
+	}
+}
+
+// CreateTable registers a table. Column order defines tuple layout.
+func (c *Catalog) CreateTable(name string, cols []Column, pk []string) (*Table, error) {
+	name = strings.ToLower(name)
+	if _, ok := c.tables[name]; ok {
+		return nil, fmt.Errorf("catalog: table %q already exists", name)
+	}
+	t := &Table{
+		Name:      name,
+		Columns:   make([]Column, len(cols)),
+		colByName: make(map[string]*Column, len(cols)),
+		Stats:     make(map[string]*ColumnStats),
+	}
+	for i, col := range cols {
+		col.Name = strings.ToLower(col.Name)
+		col.Pos = i
+		t.Columns[i] = col
+		if _, dup := t.colByName[col.Name]; dup {
+			return nil, fmt.Errorf("catalog: duplicate column %q in table %q", col.Name, name)
+		}
+		t.colByName[col.Name] = &t.Columns[i]
+	}
+	for _, k := range pk {
+		k = strings.ToLower(k)
+		if t.Column(k) == nil {
+			return nil, fmt.Errorf("catalog: primary key column %q not in table %q", k, name)
+		}
+		t.PrimaryKey = append(t.PrimaryKey, k)
+	}
+	c.tables[name] = t
+	return t, nil
+}
+
+// Table returns the table by name, or nil.
+func (c *Catalog) Table(name string) *Table {
+	return c.tables[strings.ToLower(name)]
+}
+
+// Tables returns all tables sorted by name.
+func (c *Catalog) Tables() []*Table {
+	out := make([]*Table, 0, len(c.tables))
+	for _, t := range c.tables {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// AddIndex registers index metadata. Fails on duplicate name or when the
+// table/columns don't exist.
+func (c *Catalog) AddIndex(m *IndexMeta) error {
+	m.Name = strings.ToLower(m.Name)
+	m.Table = strings.ToLower(m.Table)
+	if _, ok := c.indexes[m.Name]; ok {
+		return fmt.Errorf("catalog: index %q already exists", m.Name)
+	}
+	t := c.Table(m.Table)
+	if t == nil {
+		return fmt.Errorf("catalog: index %q references unknown table %q", m.Name, m.Table)
+	}
+	for i, col := range m.Columns {
+		col = strings.ToLower(col)
+		m.Columns[i] = col
+		if t.Column(col) == nil {
+			return fmt.Errorf("catalog: index %q references unknown column %s.%s", m.Name, m.Table, col)
+		}
+	}
+	c.indexes[m.Name] = m
+	return nil
+}
+
+// DropIndex removes index metadata by name.
+func (c *Catalog) DropIndex(name string) error {
+	name = strings.ToLower(name)
+	if _, ok := c.indexes[name]; !ok {
+		return fmt.Errorf("catalog: index %q does not exist", name)
+	}
+	delete(c.indexes, name)
+	return nil
+}
+
+// Index returns the index by name, or nil.
+func (c *Catalog) Index(name string) *IndexMeta {
+	return c.indexes[strings.ToLower(name)]
+}
+
+// Indexes returns all indexes sorted by name. When includeHypothetical is
+// false, what-if indexes are filtered out.
+func (c *Catalog) Indexes(includeHypothetical bool) []*IndexMeta {
+	out := make([]*IndexMeta, 0, len(c.indexes))
+	for _, m := range c.indexes {
+		if m.Hypothetical && !includeHypothetical {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TableIndexes returns the indexes on one table (optionally including
+// hypothetical ones), sorted by name.
+func (c *Catalog) TableIndexes(table string, includeHypothetical bool) []*IndexMeta {
+	table = strings.ToLower(table)
+	var out []*IndexMeta
+	for _, m := range c.indexes {
+		if m.Table != table || m.Disabled {
+			continue
+		}
+		if m.Hypothetical && !includeHypothetical {
+			continue
+		}
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FindIndexByColumns returns a real index whose key is exactly the given
+// column list on the table, or nil. Locality is part of identity: pass a
+// trailing "/local"-suffixed lookup via FindIndexLike for local variants.
+func (c *Catalog) FindIndexByColumns(table string, cols []string) *IndexMeta {
+	return c.findIndex(table, cols, false)
+}
+
+// FindIndexLike returns a real index matching the spec's table, columns and
+// locality exactly, or nil.
+func (c *Catalog) FindIndexLike(spec *IndexMeta) *IndexMeta {
+	return c.findIndex(spec.Table, spec.Columns, spec.Local)
+}
+
+func (c *Catalog) findIndex(table string, cols []string, local bool) *IndexMeta {
+	table = strings.ToLower(table)
+	for _, m := range c.indexes {
+		if m.Table != table || m.Hypothetical || m.Local != local || len(m.Columns) != len(cols) {
+			continue
+		}
+		match := true
+		for i := range cols {
+			if m.Columns[i] != strings.ToLower(cols[i]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return m
+		}
+	}
+	return nil
+}
+
+// TotalIndexBytes sums the footprint of all real indexes.
+func (c *Catalog) TotalIndexBytes() int64 {
+	var total int64
+	for _, m := range c.indexes {
+		if !m.Hypothetical {
+			total += m.SizeBytes
+		}
+	}
+	return total
+}
+
+// Stats returns the column statistics, or nil when unanalyzed.
+func (t *Table) ColumnStatsFor(col string) *ColumnStats {
+	return t.Stats[strings.ToLower(col)]
+}
+
+// SelectivityEq estimates the fraction of rows matching col = const using
+// histogram/NDV stats, with the textbook 1/NDV fallback.
+func (s *ColumnStats) SelectivityEq() float64 {
+	if s == nil || s.NumDistinct <= 0 {
+		return 0.1 // default when unanalyzed
+	}
+	return (1 - s.NullFraction) / float64(s.NumDistinct)
+}
+
+// SelectivityRange estimates the fraction of rows in (lo, hi) where either
+// bound may be NULL meaning unbounded. Uses the histogram when present,
+// otherwise linear interpolation between min and max.
+func (s *ColumnStats) SelectivityRange(lo, hi sqltypes.Value, loInc, hiInc bool) float64 {
+	if s == nil || s.NumRows == 0 {
+		return 1.0 / 3 // default range selectivity
+	}
+	if len(s.Histogram) > 1 {
+		loF := 0.0
+		if !lo.IsNull() {
+			loF = s.histogramPosition(lo)
+		}
+		hiF := 1.0
+		if !hi.IsNull() {
+			hiF = s.histogramPosition(hi)
+		}
+		sel := hiF - loF
+		if sel < 0 {
+			sel = 0
+		}
+		// Floor at one histogram bucket: the bound's true position inside
+		// its bucket is unknown, and a zero estimate would make the planner
+		// treat any narrow range as free.
+		if minSel := 1 / float64(len(s.Histogram)); sel < minSel {
+			sel = minSel
+		}
+		if sel > 1 {
+			sel = 1
+		}
+		return sel
+	}
+	// Linear interpolation fallback for numeric columns.
+	if s.Min.IsNull() || s.Max.IsNull() {
+		return 1.0 / 3
+	}
+	minF, maxF := s.Min.AsFloat(), s.Max.AsFloat()
+	if maxF <= minF {
+		return 1.0
+	}
+	loF := minF
+	if !lo.IsNull() {
+		loF = lo.AsFloat()
+	}
+	hiF := maxF
+	if !hi.IsNull() {
+		hiF = hi.AsFloat()
+	}
+	sel := (hiF - loF) / (maxF - minF)
+	if sel < 0 {
+		sel = 0
+	}
+	if sel > 1 {
+		sel = 1
+	}
+	return sel
+}
+
+// histogramPosition returns the fraction of values < v per the equi-depth
+// histogram.
+func (s *ColumnStats) histogramPosition(v sqltypes.Value) float64 {
+	n := len(s.Histogram)
+	idx := sort.Search(n, func(i int) bool {
+		return sqltypes.Compare(s.Histogram[i], v) >= 0
+	})
+	return float64(idx) / float64(n)
+}

@@ -1,0 +1,186 @@
+package catalog
+
+import (
+	"testing"
+
+	"repro/internal/sqltypes"
+)
+
+func testTable(t *testing.T) (*Catalog, *Table) {
+	t.Helper()
+	c := New()
+	tbl, err := c.CreateTable("orders", []Column{
+		{Name: "id", Type: sqltypes.KindInt},
+		{Name: "cid", Type: sqltypes.KindInt},
+		{Name: "amount", Type: sqltypes.KindFloat},
+		{Name: "status", Type: sqltypes.KindString},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, tbl
+}
+
+func TestCreateTableAndLookup(t *testing.T) {
+	c, tbl := testTable(t)
+	if c.Table("ORDERS") != tbl {
+		t.Error("lookup must be case-insensitive")
+	}
+	if tbl.Column("cid").Pos != 1 {
+		t.Error("column ordinal")
+	}
+	if tbl.Column("nope") != nil {
+		t.Error("missing column should return nil")
+	}
+	if len(tbl.PrimaryKey) != 1 || tbl.PrimaryKey[0] != "id" {
+		t.Error("primary key")
+	}
+}
+
+func TestCreateTableErrors(t *testing.T) {
+	c, _ := testTable(t)
+	if _, err := c.CreateTable("orders", nil, nil); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	if _, err := c.CreateTable("t2", []Column{{Name: "a"}, {Name: "a"}}, nil); err == nil {
+		t.Error("duplicate column must fail")
+	}
+	if _, err := c.CreateTable("t3", []Column{{Name: "a"}}, []string{"zzz"}); err == nil {
+		t.Error("unknown pk column must fail")
+	}
+}
+
+func TestIndexLifecycle(t *testing.T) {
+	c, _ := testTable(t)
+	m := &IndexMeta{Name: "idx_cid", Table: "orders", Columns: []string{"cid"}, SizeBytes: 100}
+	if err := c.AddIndex(m); err != nil {
+		t.Fatal(err)
+	}
+	if c.Index("idx_cid") == nil {
+		t.Fatal("index lookup failed")
+	}
+	if err := c.AddIndex(&IndexMeta{Name: "idx_cid", Table: "orders", Columns: []string{"cid"}}); err == nil {
+		t.Error("duplicate index name must fail")
+	}
+	if err := c.AddIndex(&IndexMeta{Name: "x", Table: "nosuch", Columns: []string{"a"}}); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if err := c.AddIndex(&IndexMeta{Name: "y", Table: "orders", Columns: []string{"ghost"}}); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if err := c.DropIndex("idx_cid"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("idx_cid"); err == nil {
+		t.Error("double drop must fail")
+	}
+}
+
+func TestHypotheticalFiltering(t *testing.T) {
+	c, _ := testTable(t)
+	real := &IndexMeta{Name: "r", Table: "orders", Columns: []string{"cid"}, SizeBytes: 10}
+	hypo := &IndexMeta{Name: "h", Table: "orders", Columns: []string{"amount"}, Hypothetical: true, SizeBytes: 99}
+	if err := c.AddIndex(real); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(hypo); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Indexes(false)); got != 1 {
+		t.Errorf("real-only: want 1, got %d", got)
+	}
+	if got := len(c.Indexes(true)); got != 2 {
+		t.Errorf("with hypo: want 2, got %d", got)
+	}
+	if got := len(c.TableIndexes("orders", false)); got != 1 {
+		t.Errorf("table real-only: want 1, got %d", got)
+	}
+	if c.TotalIndexBytes() != 10 {
+		t.Errorf("hypothetical indexes must not count toward storage: got %d", c.TotalIndexBytes())
+	}
+}
+
+func TestFindIndexByColumns(t *testing.T) {
+	c, _ := testTable(t)
+	m := &IndexMeta{Name: "ab", Table: "orders", Columns: []string{"cid", "amount"}}
+	if err := c.AddIndex(m); err != nil {
+		t.Fatal(err)
+	}
+	if c.FindIndexByColumns("orders", []string{"cid", "amount"}) == nil {
+		t.Error("exact match expected")
+	}
+	if c.FindIndexByColumns("orders", []string{"cid"}) != nil {
+		t.Error("prefix is not an exact match")
+	}
+	if c.FindIndexByColumns("orders", []string{"amount", "cid"}) != nil {
+		t.Error("order matters")
+	}
+}
+
+func TestIndexCovers(t *testing.T) {
+	m := &IndexMeta{Table: "t", Columns: []string{"a", "b", "c"}}
+	if !m.Covers([]string{"a"}) || !m.Covers([]string{"a", "b"}) {
+		t.Error("leftmost prefixes must be covered")
+	}
+	if m.Covers([]string{"b"}) {
+		t.Error("non-prefix must not be covered")
+	}
+	if m.Covers([]string{"a", "b", "c", "d"}) {
+		t.Error("longer than index must not be covered")
+	}
+}
+
+func TestSelectivityEq(t *testing.T) {
+	s := &ColumnStats{NumRows: 1000, NumDistinct: 100}
+	if got := s.SelectivityEq(); got != 0.01 {
+		t.Errorf("eq selectivity: got %g", got)
+	}
+	var nilStats *ColumnStats
+	if got := nilStats.SelectivityEq(); got != 0.1 {
+		t.Errorf("nil stats default: got %g", got)
+	}
+}
+
+func TestSelectivityRangeInterpolation(t *testing.T) {
+	s := &ColumnStats{
+		NumRows: 1000, NumDistinct: 1000,
+		Min: sqltypes.NewInt(0), Max: sqltypes.NewInt(100),
+	}
+	got := s.SelectivityRange(sqltypes.NewInt(25), sqltypes.NewInt(75), false, false)
+	if got < 0.45 || got > 0.55 {
+		t.Errorf("mid-range selectivity ~0.5, got %g", got)
+	}
+	full := s.SelectivityRange(sqltypes.Null(), sqltypes.Null(), false, false)
+	if full != 1.0 {
+		t.Errorf("unbounded range should be 1.0, got %g", full)
+	}
+}
+
+func TestSelectivityRangeHistogram(t *testing.T) {
+	hist := make([]sqltypes.Value, 10)
+	for i := range hist {
+		hist[i] = sqltypes.NewInt(int64((i + 1) * 10)) // 10..100
+	}
+	s := &ColumnStats{NumRows: 1000, NumDistinct: 500, Histogram: hist,
+		Min: sqltypes.NewInt(0), Max: sqltypes.NewInt(100)}
+	got := s.SelectivityRange(sqltypes.Null(), sqltypes.NewInt(50), false, false)
+	if got < 0.3 || got > 0.6 {
+		t.Errorf("histogram selectivity for < 50: got %g", got)
+	}
+	low := s.SelectivityRange(sqltypes.NewInt(90), sqltypes.Null(), false, false)
+	if low > 0.25 {
+		t.Errorf("tail range should be small: got %g", low)
+	}
+}
+
+func TestIndexKeyIdentity(t *testing.T) {
+	a := &IndexMeta{Name: "x", Table: "t", Columns: []string{"a", "b"}}
+	b := &IndexMeta{Name: "y", Table: "t", Columns: []string{"a", "b"}}
+	if a.Key() != b.Key() {
+		t.Error("same table+columns must share identity key")
+	}
+	c := &IndexMeta{Name: "z", Table: "t", Columns: []string{"b", "a"}}
+	if a.Key() == c.Key() {
+		t.Error("column order must distinguish identity keys")
+	}
+}

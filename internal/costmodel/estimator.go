@@ -1,0 +1,266 @@
+package costmodel
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/planner"
+	"repro/internal/sqlparser"
+	"repro/internal/workload"
+)
+
+// Estimator prices statements and whole workloads under arbitrary index
+// configurations using what-if planning plus the (optionally trained)
+// regression model. It never builds an index: candidate indexes are
+// registered hypothetically and existing indexes are hidden via the
+// catalog's Disabled flag for the duration of one estimate.
+type Estimator struct {
+	cat   *catalog.Catalog
+	model *Regression
+	// UseStatic forces the traditional static-weight formula; ablation knob.
+	UseStatic bool
+	// IgnoreWriteCosts zeroes the index-maintenance features (C^io, C^cpu),
+	// mimicking estimators that only price reads — the limitation the paper
+	// attributes to prior plan-based ML methods (§V). Ablation knob.
+	IgnoreWriteCosts bool
+	// Parallelism > 1 plans the workload's queries concurrently during
+	// WorkloadCost (the paper leans on parallelized search [23]; here the
+	// estimator's per-template planning is the parallelizable unit — the
+	// catalog is read-only while a configuration is pinned). 0/1 = serial.
+	Parallelism int
+}
+
+// NewEstimator creates an estimator over the catalog with an untrained
+// model (predictions fall back to the static formula until Train is called).
+func NewEstimator(cat *catalog.Catalog) *Estimator {
+	return &Estimator{cat: cat, model: NewRegression(0, 0, 0)}
+}
+
+// Model exposes the underlying regression model.
+func (e *Estimator) Model() *Regression { return e.model }
+
+// Train fits the regression model on logged samples.
+func (e *Estimator) Train(samples []Sample) error { return e.model.Fit(samples) }
+
+// ComputeFeatures plans one statement under the catalog's current (possibly
+// hypothetical) index configuration and extracts the paper's cost features.
+func (e *Estimator) ComputeFeatures(stmt sqlparser.Statement) (Features, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		// Plan a deep copy: planning mutates expressions (name resolution),
+		// and the same template is re-planned under many configurations.
+		cp, err := reparse(s)
+		if err != nil {
+			return Features{}, err
+		}
+		plan, err := planner.PlanSelect(e.cat, cp)
+		if err != nil {
+			return Features{}, err
+		}
+		return Features{CData: plan.EstCost()}, nil
+	case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
+		cp, err := reparseStmt(stmt)
+		if err != nil {
+			return Features{}, err
+		}
+		wp, err := planner.PlanWrite(e.cat, cp)
+		if err != nil {
+			return Features{}, err
+		}
+		f := Features{CData: wp.ScanCost + wp.WriteCost}
+		if !e.IgnoreWriteCosts {
+			for _, m := range wp.MaintainIndexes {
+				f.CIO += m.IOCost
+				f.CCPU += m.StartupCost + m.RunningCost
+			}
+		}
+		return f, nil
+	default:
+		return Features{}, fmt.Errorf("costmodel: unsupported statement %T", stmt)
+	}
+}
+
+// reparse deep-copies a SELECT via its SQL round trip.
+func reparse(s *sqlparser.SelectStmt) (*sqlparser.SelectStmt, error) {
+	stmt, err := sqlparser.Parse(s.String())
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: re-parse: %w", err)
+	}
+	return stmt.(*sqlparser.SelectStmt), nil
+}
+
+func reparseStmt(s sqlparser.Statement) (sqlparser.Statement, error) {
+	stmt, err := sqlparser.Parse(s.String())
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: re-parse: %w", err)
+	}
+	return stmt, nil
+}
+
+// QueryCost estimates one statement's cost under the current configuration.
+func (e *Estimator) QueryCost(stmt sqlparser.Statement) (float64, error) {
+	f, err := e.ComputeFeatures(stmt)
+	if err != nil {
+		return 0, err
+	}
+	if e.UseStatic {
+		return StaticCost(f), nil
+	}
+	return e.model.Predict(f), nil
+}
+
+// WorkloadCost estimates the weighted total cost of the workload as if
+// exactly the given index set existed (plus primary-key indexes, which are
+// never removable). Entries may be real indexes (kept), real indexes absent
+// from the set (treated as removed), or candidate specs (hypothetically
+// created).
+func (e *Estimator) WorkloadCost(w *workload.Workload, active []*catalog.IndexMeta) (float64, error) {
+	restore, err := e.applyConfig(active)
+	if err != nil {
+		return 0, err
+	}
+	defer restore()
+
+	if e.Parallelism > 1 && len(w.Queries) > 1 {
+		return e.parallelWorkloadCost(w)
+	}
+	var total float64
+	for i := range w.Queries {
+		q := &w.Queries[i]
+		cost, err := e.QueryCost(q.Stmt)
+		if err != nil {
+			return 0, fmt.Errorf("costmodel: query %q: %w", q.SQL, err)
+		}
+		total += cost * q.Weight
+	}
+	return total, nil
+}
+
+// parallelWorkloadCost fans per-query planning across workers. The catalog
+// is read-only for the duration (the configuration is pinned by the caller)
+// and each query plans a fresh re-parse, so workers share no mutable state.
+func (e *Estimator) parallelWorkloadCost(w *workload.Workload) (float64, error) {
+	workers := e.Parallelism
+	if workers > len(w.Queries) {
+		workers = len(w.Queries)
+	}
+	var (
+		mu    sync.Mutex
+		total float64
+		first error
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				q := &w.Queries[i]
+				cost, err := e.QueryCost(q.Stmt)
+				mu.Lock()
+				if err != nil && first == nil {
+					first = fmt.Errorf("costmodel: query %q: %w", q.SQL, err)
+				}
+				total += cost * q.Weight
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range w.Queries {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if first != nil {
+		return 0, first
+	}
+	return total, nil
+}
+
+// applyConfig reshapes the catalog to the desired index set and returns a
+// restore function. Primary-key indexes (pk_ prefix) always stay active.
+func (e *Estimator) applyConfig(active []*catalog.IndexMeta) (func(), error) {
+	want := make(map[string]bool, len(active))
+	for _, m := range active {
+		want[m.Key()] = true
+	}
+
+	var disabled []*catalog.IndexMeta
+	for _, m := range e.cat.Indexes(true) {
+		if m.Hypothetical || isPrimaryKey(m) {
+			continue
+		}
+		if !want[m.Key()] {
+			m.Disabled = true
+			disabled = append(disabled, m)
+		}
+	}
+
+	var created []string
+	for _, m := range active {
+		// Already real and enabled?
+		if existing := e.cat.FindIndexLike(m); existing != nil && !existing.Disabled {
+			continue
+		}
+		name := fmt.Sprintf("whatif_%s", sanitize(m.Key()))
+		if e.cat.Index(name) != nil {
+			continue
+		}
+		clone := *m
+		clone.Name = name
+		clone.Hypothetical = true
+		clone.Disabled = false
+		if err := e.cat.AddIndex(&clone); err != nil {
+			for _, d := range disabled {
+				d.Disabled = false
+			}
+			for _, c := range created {
+				_ = e.cat.DropIndex(c)
+			}
+			return nil, err
+		}
+		created = append(created, name)
+	}
+
+	return func() {
+		for _, d := range disabled {
+			d.Disabled = false
+		}
+		for _, c := range created {
+			_ = e.cat.DropIndex(c)
+		}
+	}, nil
+}
+
+func isPrimaryKey(m *catalog.IndexMeta) bool {
+	return len(m.Name) > 3 && m.Name[:3] == "pk_"
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '(', ')', ',', '.', ' ':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}
+
+// Benefit returns cost(W, base) - cost(W, base ∪ {extra}) — the paper's
+// B(I) for one additional index on top of a configuration.
+func (e *Estimator) Benefit(w *workload.Workload, base []*catalog.IndexMeta, extra *catalog.IndexMeta) (float64, error) {
+	before, err := e.WorkloadCost(w, base)
+	if err != nil {
+		return 0, err
+	}
+	after, err := e.WorkloadCost(w, append(append([]*catalog.IndexMeta{}, base...), extra))
+	if err != nil {
+		return 0, err
+	}
+	return before - after, nil
+}

@@ -1,0 +1,221 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestDifferentialIndexTransparency is the system's core correctness
+// invariant: indexes are pure access-path optimizations, so any query must
+// return exactly the same multiset of rows no matter which indexes exist.
+// We generate random datasets, random queries, and random index sets, and
+// compare results against the index-free run.
+func TestDifferentialIndexTransparency(t *testing.T) {
+	for trial := int64(0); trial < 6; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(trial*101 + 7))
+			queries := randomQueries(rng, 40)
+
+			// Reference run: no secondary indexes.
+			ref := buildRandomDB(t, trial)
+			refResults := make([][]string, len(queries))
+			for i, q := range queries {
+				refResults[i] = normalizedRows(t, ref, q)
+			}
+
+			// 3 random index configurations per dataset.
+			for cfg := 0; cfg < 3; cfg++ {
+				db := buildRandomDB(t, trial)
+				for _, ddl := range randomIndexes(rng) {
+					mustExec(t, db, ddl)
+				}
+				for i, q := range queries {
+					got := normalizedRows(t, db, q)
+					if !equalRows(refResults[i], got) {
+						t.Fatalf("config %d: query %q differs\nref: %v\ngot: %v",
+							cfg, q, sample(refResults[i]), sample(got))
+					}
+				}
+			}
+		})
+	}
+}
+
+// buildRandomDB creates two deterministic tables seeded by trial.
+func buildRandomDB(t *testing.T, trial int64) *DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(trial*31 + 1))
+	db := New()
+	mustExec(t, db, "CREATE TABLE l (id BIGINT, a BIGINT, b BIGINT, s TEXT, PRIMARY KEY (id))")
+	mustExec(t, db, "CREATE TABLE r (id BIGINT, la BIGINT, v DOUBLE, PRIMARY KEY (id))")
+	for i := 0; i < 600; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			"INSERT INTO l (id, a, b, s) VALUES (%d, %d, %d, 't%d')",
+			i, rng.Intn(40), rng.Intn(25), rng.Intn(8)))
+	}
+	for i := 0; i < 400; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			"INSERT INTO r (id, la, v) VALUES (%d, %d, %d.5)",
+			i, rng.Intn(40), rng.Intn(100)))
+	}
+	if err := db.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// randomQueries emits a deterministic mix of shapes over l and r.
+func randomQueries(rng *rand.Rand, n int) []string {
+	var out []string
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			out = append(out, fmt.Sprintf("SELECT id, a FROM l WHERE a = %d", rng.Intn(45)))
+		case 1:
+			out = append(out, fmt.Sprintf(
+				"SELECT id FROM l WHERE a = %d AND b = %d", rng.Intn(45), rng.Intn(30)))
+		case 2:
+			out = append(out, fmt.Sprintf(
+				"SELECT id FROM l WHERE b BETWEEN %d AND %d", rng.Intn(10), 10+rng.Intn(20)))
+		case 3:
+			out = append(out, fmt.Sprintf(
+				"SELECT l.id, r.id FROM l JOIN r ON l.a = r.la WHERE r.v > %d", rng.Intn(80)))
+		case 4:
+			out = append(out, fmt.Sprintf(
+				"SELECT a, COUNT(*) FROM l WHERE b < %d GROUP BY a", rng.Intn(25)))
+		case 5:
+			out = append(out, fmt.Sprintf(
+				"SELECT id FROM l WHERE s = 't%d' OR a = %d", rng.Intn(9), rng.Intn(45)))
+		case 6:
+			out = append(out, fmt.Sprintf(
+				"SELECT id FROM l WHERE a IN (%d, %d, %d)", rng.Intn(45), rng.Intn(45), rng.Intn(45)))
+		default:
+			out = append(out, fmt.Sprintf(
+				"SELECT id, b FROM l WHERE a >= %d ORDER BY id LIMIT %d", rng.Intn(40), 1+rng.Intn(20)))
+		}
+	}
+	return out
+}
+
+// randomIndexes emits a random subset of plausible index DDLs.
+func randomIndexes(rng *rand.Rand) []string {
+	all := []string{
+		"CREATE INDEX d_a ON l (a)",
+		"CREATE INDEX d_b ON l (b)",
+		"CREATE INDEX d_ab ON l (a, b)",
+		"CREATE INDEX d_ba ON l (b, a)",
+		"CREATE INDEX d_s ON l (s)",
+		"CREATE INDEX d_sa ON l (s, a)",
+		"CREATE INDEX d_la ON r (la)",
+		"CREATE INDEX d_v ON r (v)",
+		"CREATE INDEX d_lav ON r (la, v)",
+	}
+	var out []string
+	for _, ddl := range all {
+		if rng.Intn(2) == 0 {
+			out = append(out, ddl)
+		}
+	}
+	return out
+}
+
+// normalizedRows executes a query and returns its rows as sorted strings
+// (order-insensitive comparison except where ORDER BY pins it — sorting
+// both sides keeps the comparison fair either way).
+func normalizedRows(t *testing.T, db *DB, sql string) []string {
+	t.Helper()
+	res, err := db.Exec(sql)
+	if err != nil {
+		t.Fatalf("Exec(%q): %v", sql, err)
+	}
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		parts := make([]string, len(r))
+		for i, v := range r {
+			parts[i] = v.String()
+		}
+		out = append(out, strings.Join(parts, "|"))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalRows(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sample(rows []string) []string {
+	if len(rows) > 8 {
+		return rows[:8]
+	}
+	return rows
+}
+
+// TestDifferentialWritesUnderIndexes extends the invariant through writes:
+// run the same write+read script on an indexed and an unindexed database
+// and compare final states.
+func TestDifferentialWritesUnderIndexes(t *testing.T) {
+	script := func(rng *rand.Rand, n int) []string {
+		var out []string
+		id := 10000
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				id++
+				out = append(out, fmt.Sprintf(
+					"INSERT INTO l (id, a, b, s) VALUES (%d, %d, %d, 'n%d')",
+					id, rng.Intn(40), rng.Intn(25), rng.Intn(5)))
+			case 1:
+				out = append(out, fmt.Sprintf(
+					"UPDATE l SET b = %d WHERE a = %d", rng.Intn(25), rng.Intn(40)))
+			case 2:
+				out = append(out, fmt.Sprintf("DELETE FROM l WHERE id = %d", rng.Intn(600)))
+			default:
+				out = append(out, fmt.Sprintf(
+					"UPDATE l SET a = a + 1 WHERE id = %d", rng.Intn(600)))
+			}
+		}
+		return out
+	}
+
+	for trial := int64(0); trial < 4; trial++ {
+		rngA := rand.New(rand.NewSource(trial * 7))
+		rngB := rand.New(rand.NewSource(trial * 7))
+
+		plain := buildRandomDB(t, trial)
+		indexed := buildRandomDB(t, trial)
+		mustExec(t, indexed, "CREATE INDEX w_a ON l (a)")
+		mustExec(t, indexed, "CREATE INDEX w_ab ON l (a, b)")
+		mustExec(t, indexed, "CREATE INDEX w_s ON l (s)")
+
+		for _, sql := range script(rngA, 120) {
+			mustExec(t, plain, sql)
+		}
+		for _, sql := range script(rngB, 120) {
+			mustExec(t, indexed, sql)
+		}
+
+		for _, q := range []string{
+			"SELECT id, a, b, s FROM l",
+			"SELECT a, COUNT(*) FROM l GROUP BY a",
+			"SELECT id FROM l WHERE a = 12",
+			"SELECT id FROM l WHERE s = 'n3'",
+		} {
+			if !equalRows(normalizedRows(t, plain, q), normalizedRows(t, indexed, q)) {
+				t.Fatalf("trial %d: state diverged on %q", trial, q)
+			}
+		}
+	}
+}

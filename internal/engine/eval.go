@@ -1,0 +1,374 @@
+// Package engine executes physical plans produced by the planner against
+// heap storage and B+Tree indexes, maintains every index on writes, and
+// accounts page-level IO and tuple-level CPU work. Those counters are the
+// ground truth the AutoIndex cost model trains on, and their weighted sum is
+// the deterministic execution-cost proxy used as "latency" in experiments.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// row is the executor's tuple context: binding → tuple plus the column
+// layout for each binding.
+type row struct {
+	vals map[string]sqltypes.Tuple
+}
+
+func newRow() row { return row{vals: make(map[string]sqltypes.Tuple, 4)} }
+
+func (r row) clone() row {
+	out := newRow()
+	for k, v := range r.vals {
+		out.vals[k] = v
+	}
+	return out
+}
+
+// colIndex maps binding → column name → tuple position for the executor.
+type colIndex map[string]map[string]int
+
+func (ci colIndex) lookup(binding, col string) (int, bool) {
+	m, ok := ci[binding]
+	if !ok {
+		return 0, false
+	}
+	i, ok := m[col]
+	return i, ok
+}
+
+func (ci colIndex) addBinding(binding string, cols []string) {
+	m := make(map[string]int, len(cols))
+	for i, c := range cols {
+		m[c] = i
+	}
+	ci[binding] = m
+}
+
+// evalCtx carries everything expression evaluation needs.
+type evalCtx struct {
+	db   *DB
+	cols colIndex
+	// subqueryCache memoizes uncorrelated subquery results per statement.
+	subqueryCache map[*sqlparser.SelectStmt][]sqltypes.Value
+	// ops counts operator evaluations for CPU accounting.
+	ops int64
+}
+
+// evalExpr evaluates e against the row. SQL three-valued logic collapses to
+// two-valued here: NULL comparisons are false.
+func (c *evalCtx) evalExpr(e sqlparser.Expr, r row) (sqltypes.Value, error) {
+	c.ops++
+	switch v := e.(type) {
+	case *sqlparser.Literal:
+		return v.Value, nil
+	case *sqlparser.Placeholder:
+		return sqltypes.Null(), nil
+	case *sqlparser.ColumnRef:
+		tup, ok := r.vals[v.Table]
+		if !ok {
+			return sqltypes.Null(), fmt.Errorf("engine: binding %q not in row", v.Table)
+		}
+		pos, ok := c.cols.lookup(v.Table, v.Column)
+		if !ok {
+			return sqltypes.Null(), fmt.Errorf("engine: column %s.%s unknown", v.Table, v.Column)
+		}
+		if pos >= len(tup) {
+			return sqltypes.Null(), nil
+		}
+		return tup[pos], nil
+	case *sqlparser.BinaryExpr:
+		return c.evalBinary(v, r)
+	case *sqlparser.NotExpr:
+		val, err := c.evalExpr(v.E, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		return boolVal(!truthy(val)), nil
+	case *sqlparser.InExpr:
+		return c.evalIn(v, r)
+	case *sqlparser.BetweenExpr:
+		val, err := c.evalExpr(v.E, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		lo, err := c.evalExpr(v.Lo, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		hi, err := c.evalExpr(v.Hi, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		if val.IsNull() || lo.IsNull() || hi.IsNull() {
+			return boolVal(false), nil
+		}
+		ok := sqltypes.Compare(val, lo) >= 0 && sqltypes.Compare(val, hi) <= 0
+		return boolVal(ok), nil
+	case *sqlparser.IsNullExpr:
+		val, err := c.evalExpr(v.E, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		if v.Not {
+			return boolVal(!val.IsNull()), nil
+		}
+		return boolVal(val.IsNull()), nil
+	case *sqlparser.FuncExpr:
+		return c.evalScalarFunc(v, r)
+	case *sqlparser.SubqueryExpr:
+		vals, err := c.scalarSubquery(v.Query)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		if len(vals) == 0 {
+			return sqltypes.Null(), nil
+		}
+		return vals[0], nil
+	default:
+		return sqltypes.Null(), fmt.Errorf("engine: cannot evaluate %T", e)
+	}
+}
+
+func (c *evalCtx) evalBinary(v *sqlparser.BinaryExpr, r row) (sqltypes.Value, error) {
+	switch v.Op {
+	case sqlparser.OpAnd:
+		l, err := c.evalExpr(v.L, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		if !truthy(l) {
+			return boolVal(false), nil
+		}
+		rr, err := c.evalExpr(v.R, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		return boolVal(truthy(rr)), nil
+	case sqlparser.OpOr:
+		l, err := c.evalExpr(v.L, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		if truthy(l) {
+			return boolVal(true), nil
+		}
+		rr, err := c.evalExpr(v.R, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		return boolVal(truthy(rr)), nil
+	}
+	l, err := c.evalExpr(v.L, r)
+	if err != nil {
+		return sqltypes.Null(), err
+	}
+	rr, err := c.evalExpr(v.R, r)
+	if err != nil {
+		return sqltypes.Null(), err
+	}
+	switch v.Op {
+	case sqlparser.OpEQ:
+		return boolVal(sqltypes.Equal(l, rr)), nil
+	case sqlparser.OpNE:
+		if l.IsNull() || rr.IsNull() {
+			return boolVal(false), nil
+		}
+		return boolVal(sqltypes.Compare(l, rr) != 0), nil
+	case sqlparser.OpLT, sqlparser.OpLE, sqlparser.OpGT, sqlparser.OpGE:
+		if l.IsNull() || rr.IsNull() {
+			return boolVal(false), nil
+		}
+		cmp := sqltypes.Compare(l, rr)
+		var ok bool
+		switch v.Op {
+		case sqlparser.OpLT:
+			ok = cmp < 0
+		case sqlparser.OpLE:
+			ok = cmp <= 0
+		case sqlparser.OpGT:
+			ok = cmp > 0
+		default:
+			ok = cmp >= 0
+		}
+		return boolVal(ok), nil
+	case sqlparser.OpLike:
+		if l.IsNull() || rr.IsNull() {
+			return boolVal(false), nil
+		}
+		return boolVal(likeMatch(l.Str, rr.Str)), nil
+	case sqlparser.OpAdd, sqlparser.OpSub, sqlparser.OpMul, sqlparser.OpDiv:
+		return arith(v.Op, l, rr), nil
+	default:
+		return sqltypes.Null(), fmt.Errorf("engine: unsupported operator %v", v.Op)
+	}
+}
+
+func (c *evalCtx) evalIn(v *sqlparser.InExpr, r row) (sqltypes.Value, error) {
+	val, err := c.evalExpr(v.E, r)
+	if err != nil {
+		return sqltypes.Null(), err
+	}
+	if val.IsNull() {
+		return boolVal(false), nil
+	}
+	for _, item := range v.List {
+		if sub, ok := item.(*sqlparser.SubqueryExpr); ok {
+			vals, err := c.scalarSubquery(sub.Query)
+			if err != nil {
+				return sqltypes.Null(), err
+			}
+			for _, sv := range vals {
+				if sqltypes.Equal(val, sv) {
+					return boolVal(true), nil
+				}
+			}
+			continue
+		}
+		iv, err := c.evalExpr(item, r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		if sqltypes.Equal(val, iv) {
+			return boolVal(true), nil
+		}
+	}
+	return boolVal(false), nil
+}
+
+// scalarSubquery executes an uncorrelated subquery once per statement and
+// returns its first-column values.
+func (c *evalCtx) scalarSubquery(q *sqlparser.SelectStmt) ([]sqltypes.Value, error) {
+	if cached, ok := c.subqueryCache[q]; ok {
+		return cached, nil
+	}
+	res, err := c.db.execSelect(q)
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]sqltypes.Value, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		if len(r) > 0 {
+			vals = append(vals, r[0])
+		}
+	}
+	if c.subqueryCache == nil {
+		c.subqueryCache = make(map[*sqlparser.SelectStmt][]sqltypes.Value)
+	}
+	c.subqueryCache[q] = vals
+	return vals, nil
+}
+
+// evalScalarFunc handles non-aggregate functions appearing in row context.
+func (c *evalCtx) evalScalarFunc(v *sqlparser.FuncExpr, r row) (sqltypes.Value, error) {
+	switch v.Name {
+	case "ABS":
+		if len(v.Args) != 1 {
+			return sqltypes.Null(), fmt.Errorf("engine: ABS takes 1 argument")
+		}
+		a, err := c.evalExpr(v.Args[0], r)
+		if err != nil {
+			return sqltypes.Null(), err
+		}
+		if a.Kind == sqltypes.KindInt && a.Int < 0 {
+			return sqltypes.NewInt(-a.Int), nil
+		}
+		if a.Kind == sqltypes.KindFloat && a.Float < 0 {
+			return sqltypes.NewFloat(-a.Float), nil
+		}
+		return a, nil
+	default:
+		return sqltypes.Null(), fmt.Errorf("engine: function %s not valid outside aggregation", v.Name)
+	}
+}
+
+func truthy(v sqltypes.Value) bool {
+	switch v.Kind {
+	case sqltypes.KindInt:
+		return v.Int != 0
+	case sqltypes.KindFloat:
+		return v.Float != 0
+	case sqltypes.KindString:
+		return v.Str != ""
+	default:
+		return false
+	}
+}
+
+func boolVal(b bool) sqltypes.Value {
+	if b {
+		return sqltypes.NewInt(1)
+	}
+	return sqltypes.NewInt(0)
+}
+
+func arith(op sqlparser.BinOp, l, r sqltypes.Value) sqltypes.Value {
+	if l.IsNull() || r.IsNull() {
+		return sqltypes.Null()
+	}
+	intOp := l.Kind == sqltypes.KindInt && r.Kind == sqltypes.KindInt
+	switch op {
+	case sqlparser.OpAdd:
+		if intOp {
+			return sqltypes.NewInt(l.Int + r.Int)
+		}
+		return sqltypes.NewFloat(l.AsFloat() + r.AsFloat())
+	case sqlparser.OpSub:
+		if intOp {
+			return sqltypes.NewInt(l.Int - r.Int)
+		}
+		return sqltypes.NewFloat(l.AsFloat() - r.AsFloat())
+	case sqlparser.OpMul:
+		if intOp {
+			return sqltypes.NewInt(l.Int * r.Int)
+		}
+		return sqltypes.NewFloat(l.AsFloat() * r.AsFloat())
+	case sqlparser.OpDiv:
+		rf := r.AsFloat()
+		if rf == 0 {
+			return sqltypes.Null()
+		}
+		return sqltypes.NewFloat(l.AsFloat() / rf)
+	default:
+		return sqltypes.Null()
+	}
+}
+
+// likeMatch implements SQL LIKE with % and _ wildcards.
+func likeMatch(s, pattern string) bool {
+	return likeRec(s, pattern)
+}
+
+func likeRec(s, p string) bool {
+	for len(p) > 0 {
+		switch p[0] {
+		case '%':
+			for len(p) > 0 && p[0] == '%' {
+				p = p[1:]
+			}
+			if len(p) == 0 {
+				return true
+			}
+			for i := 0; i <= len(s); i++ {
+				if likeRec(s[i:], p) {
+					return true
+				}
+			}
+			return false
+		case '_':
+			if len(s) == 0 {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		default:
+			if len(s) == 0 || s[0] != p[0] {
+				return false
+			}
+			s, p = s[1:], p[1:]
+		}
+	}
+	return len(s) == 0
+}

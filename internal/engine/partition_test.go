@@ -1,0 +1,176 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+)
+
+// partitionedDB builds a hash-partitioned accounts table with both a global
+// and a local index on the same column.
+func partitionedDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(t, db,
+		"CREATE TABLE acct (id BIGINT, owner BIGINT, region TEXT, bal DOUBLE, PRIMARY KEY (id)) PARTITION BY HASH (owner) PARTITIONS 8")
+	for i := 0; i < 4000; i++ {
+		mustExec(t, db, fmt.Sprintf(
+			"INSERT INTO acct (id, owner, region, bal) VALUES (%d, %d, 'r%d', %d.0)",
+			i, i%500, i%25, i%1000))
+	}
+	if err := db.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPartitionedTableMetadata(t *testing.T) {
+	db := partitionedDB(t)
+	tbl := db.Catalog().Table("acct")
+	if !tbl.IsPartitioned() || tbl.Partitions != 8 || tbl.PartitionBy != "owner" {
+		t.Fatalf("partition metadata: %+v", tbl)
+	}
+}
+
+func TestLocalIndexHasOneTreePerPartition(t *testing.T) {
+	db := partitionedDB(t)
+	mustExec(t, db, "CREATE LOCAL INDEX l_owner ON acct (owner)")
+	trees := db.IndexTrees("l_owner")
+	if len(trees) != 8 {
+		t.Fatalf("want 8 partition trees, got %d", len(trees))
+	}
+	var total int64
+	for _, tree := range trees {
+		if tree.Len() == 0 {
+			t.Error("every partition should hold entries (hash spread)")
+		}
+		total += tree.Len()
+	}
+	if total != 4000 {
+		t.Errorf("entries across partitions: %d", total)
+	}
+	meta := db.Catalog().Index("l_owner")
+	if !meta.Local {
+		t.Error("meta should be local")
+	}
+}
+
+func TestLocalIndexRequiresPartitionedTable(t *testing.T) {
+	db := New()
+	mustExec(t, db, "CREATE TABLE flat (a BIGINT, PRIMARY KEY (a))")
+	if _, err := db.Exec("CREATE LOCAL INDEX l ON flat (a)"); err == nil {
+		t.Error("LOCAL index on unpartitioned table must fail")
+	}
+}
+
+func TestLocalIndexLookupCorrectness(t *testing.T) {
+	db := partitionedDB(t)
+	base := mustExec(t, db, "SELECT id FROM acct WHERE owner = 42")
+	mustExec(t, db, "CREATE LOCAL INDEX l_owner ON acct (owner)")
+	idx := mustExec(t, db, "SELECT id FROM acct WHERE owner = 42")
+	if len(base.Rows) != len(idx.Rows) || len(idx.Rows) != 8 {
+		t.Fatalf("local index lookup: base=%d idx=%d", len(base.Rows), len(idx.Rows))
+	}
+	if idx.Stats.ActualCost() >= base.Stats.ActualCost() {
+		t.Errorf("partition-key lookup via local index should be cheaper: %.1f vs %.1f",
+			idx.Stats.ActualCost(), base.Stats.ActualCost())
+	}
+}
+
+func TestLocalIndexNonPartitionKeyProbesAllPartitions(t *testing.T) {
+	db := partitionedDB(t)
+	mustExec(t, db, "CREATE LOCAL INDEX l_bal ON acct (bal)")
+	res := mustExec(t, db, "SELECT id FROM acct WHERE bal = 77.0")
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 matches, got %d", len(res.Rows))
+	}
+	// All 8 trees must be probed: at least 8 descents.
+	if res.Stats.IndexDescents < 8 {
+		t.Errorf("non-partition-key local lookup should probe all trees: %d descents",
+			res.Stats.IndexDescents)
+	}
+}
+
+func TestGlobalIndexSingleProbe(t *testing.T) {
+	db := partitionedDB(t)
+	mustExec(t, db, "CREATE INDEX g_bal ON acct (bal)")
+	res := mustExec(t, db, "SELECT id FROM acct WHERE bal = 77.0")
+	if len(res.Rows) != 4 {
+		t.Fatalf("want 4 matches, got %d", len(res.Rows))
+	}
+	if len(db.IndexTrees("g_bal")) != 1 {
+		t.Error("global index keeps one tree")
+	}
+}
+
+func TestGlobalLargerThanLocalOnDisk(t *testing.T) {
+	db := partitionedDB(t)
+	mustExec(t, db, "CREATE INDEX g_owner ON acct (owner)")
+	mustExec(t, db, "CREATE LOCAL INDEX l_owner ON acct (owner)")
+	if err := db.Analyze("acct"); err != nil {
+		t.Fatal(err)
+	}
+	g := db.Catalog().Index("g_owner")
+	l := db.Catalog().Index("l_owner")
+	if g.SizeBytes <= l.SizeBytes {
+		t.Errorf("global should cost more storage (partition pointers): global=%d local=%d",
+			g.SizeBytes, l.SizeBytes)
+	}
+}
+
+func TestLocalIndexMaintainedOnWrites(t *testing.T) {
+	db := partitionedDB(t)
+	mustExec(t, db, "CREATE LOCAL INDEX l_owner ON acct (owner)")
+	mustExec(t, db, "INSERT INTO acct (id, owner, region, bal) VALUES (99999, 42, 'rx', 5.0)")
+	res := mustExec(t, db, "SELECT id FROM acct WHERE owner = 42")
+	found := false
+	for _, r := range res.Rows {
+		if r[0].Int == 99999 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("insert must be visible through the local index")
+	}
+	// Update that moves the partition key rehomes the entry.
+	mustExec(t, db, "UPDATE acct SET owner = 7 WHERE id = 99999")
+	res2 := mustExec(t, db, "SELECT id FROM acct WHERE owner = 7 AND id = 99999")
+	if len(res2.Rows) != 1 {
+		t.Error("partition-key update must rehome the index entry")
+	}
+	res3 := mustExec(t, db, "SELECT id FROM acct WHERE owner = 42 AND id = 99999")
+	if len(res3.Rows) != 0 {
+		t.Error("old partition entry must be gone")
+	}
+}
+
+func TestPartitionedBulkLoadRoutesEntries(t *testing.T) {
+	db := New()
+	mustExec(t, db,
+		"CREATE TABLE p (k BIGINT, v BIGINT, PRIMARY KEY (k)) PARTITION BY HASH (v) PARTITIONS 4")
+	mustExec(t, db, "CREATE LOCAL INDEX l_v ON p (v)")
+	for i := 0; i < 100; i++ {
+		mustExec(t, db, fmt.Sprintf("INSERT INTO p (k, v) VALUES (%d, %d)", i, i%10))
+	}
+	res := mustExec(t, db, "SELECT k FROM p WHERE v = 3")
+	if len(res.Rows) != 10 {
+		t.Fatalf("want 10, got %d", len(res.Rows))
+	}
+}
+
+func TestCreateTablePartitionColumnValidation(t *testing.T) {
+	db := New()
+	if _, err := db.Exec(
+		"CREATE TABLE bad (a BIGINT, PRIMARY KEY (a)) PARTITION BY HASH (ghost) PARTITIONS 4"); err == nil {
+		t.Error("unknown partition column must fail")
+	}
+}
+
+func TestParsePartitionDDLRoundTrip(t *testing.T) {
+	db := New()
+	mustExec(t, db,
+		"CREATE TABLE t (a BIGINT, b TEXT, PRIMARY KEY (a)) PARTITION BY HASH (b) PARTITIONS 16")
+	tbl := db.Catalog().Table("t")
+	if tbl.Partitions != 16 || tbl.PartitionBy != "b" {
+		t.Errorf("round trip: %+v", tbl)
+	}
+}

@@ -1,0 +1,378 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/planner"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// execInsert appends tuples and maintains every real index instantly.
+func (db *DB) execInsert(s *sqlparser.InsertStmt) (*Result, error) {
+	t := db.cat.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
+	}
+	heap := db.heaps[t.Name]
+	ctx := &evalCtx{db: db, cols: make(colIndex)}
+	empty := newRow()
+
+	// Column mapping: explicit list or positional.
+	positions := make([]int, 0, len(t.Columns))
+	if len(s.Columns) > 0 {
+		for _, c := range s.Columns {
+			col := t.Column(c)
+			if col == nil {
+				return nil, fmt.Errorf("engine: unknown column %s.%s", t.Name, c)
+			}
+			positions = append(positions, col.Pos)
+		}
+	} else {
+		for i := range t.Columns {
+			positions = append(positions, i)
+		}
+	}
+
+	indexes := db.cat.TableIndexes(t.Name, false)
+	var affected int64
+	for _, rowExprs := range s.Values {
+		if len(rowExprs) != len(positions) {
+			return nil, fmt.Errorf("engine: INSERT arity mismatch: %d values for %d columns",
+				len(rowExprs), len(positions))
+		}
+		tup := make(sqltypes.Tuple, len(t.Columns))
+		for i := range tup {
+			tup[i] = sqltypes.Null()
+		}
+		for i, e := range rowExprs {
+			v, err := ctx.evalExpr(e, empty)
+			if err != nil {
+				return nil, err
+			}
+			tup[positions[i]] = v
+		}
+		rid := heap.Insert(tup)
+		db.tuplesProcessed++
+		for _, meta := range indexes {
+			db.indexInsert(meta, t, tup, rid)
+		}
+		affected++
+	}
+	t.NumRows += affected
+	db.operatorEvals += ctx.ops
+	return &Result{Stats: ExecStats{RowsAffected: affected}}, nil
+}
+
+// treeFor picks the tree a tuple's entry belongs to: the single tree of a
+// normal/global index, or the hash partition's tree of a local index.
+func (db *DB) treeFor(meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.Tuple) *btree.Tree {
+	trees := db.indexes[meta.Name]
+	if len(trees) == 0 {
+		return nil
+	}
+	if meta.Local && t.IsPartitioned() {
+		pos := t.Column(t.PartitionBy).Pos
+		return trees[partitionOf(tup[pos], t.Partitions)]
+	}
+	return trees[0]
+}
+
+// indexInsert adds one entry to an index, charging descent and write IO.
+func (db *DB) indexInsert(meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.Tuple, rid btree.RID) {
+	tree := db.treeFor(meta, t, tup)
+	if tree == nil {
+		return
+	}
+	key := db.buildKey(meta, t, tup)
+	splitsBefore := tree.Splits()
+	tree.Insert(key, rid)
+	db.indexDescents += int64(tree.Height())
+	db.indexTuplesRW++
+	db.io.IndexPagesWritten += 1 + (tree.Splits() - splitsBefore)
+	meta.NumTuples = indexLen(db.indexes[meta.Name])
+	meta.NumPages = tree.NumPages()
+	meta.Height = tree.Height()
+	var keyBytes int64
+	for _, v := range key {
+		keyBytes += int64(v.EncodedSize())
+	}
+	meta.SizeBytes += int64(float64(keyBytes+8) * 1.3)
+}
+
+// indexDelete removes one entry, charging descent and write IO.
+func (db *DB) indexDelete(meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.Tuple, rid btree.RID) {
+	tree := db.treeFor(meta, t, tup)
+	if tree == nil {
+		return
+	}
+	key := db.buildKey(meta, t, tup)
+	if tree.Delete(key, rid) {
+		db.indexDescents += int64(tree.Height())
+		db.indexTuplesRW++
+		db.io.IndexPagesWritten++
+		meta.NumTuples = indexLen(db.indexes[meta.Name])
+	}
+}
+
+func (db *DB) buildKey(meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.Tuple) sqltypes.Key {
+	key := make(sqltypes.Key, len(meta.Columns))
+	for i, c := range meta.Columns {
+		key[i] = tup[t.Column(c).Pos]
+	}
+	return key
+}
+
+// targetRows locates the rows an UPDATE/DELETE affects, using the planner's
+// access path (indexes included).
+func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sqltypes.Tuple, error) {
+	t := db.cat.Table(table)
+	if t == nil {
+		return nil, nil, fmt.Errorf("engine: unknown table %q", table)
+	}
+	sel := &sqlparser.SelectStmt{
+		Select: []sqlparser.SelectItem{{Star: true}},
+		From:   []sqlparser.TableRef{{Name: t.Name}},
+		Where:  where,
+		Limit:  -1,
+	}
+	plan, err := planner.PlanSelect(db.cat, sel)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Locate the scan node beneath projection.
+	var scan planner.Node = plan.Root
+	for {
+		switch v := scan.(type) {
+		case *planner.ProjectNode:
+			scan = v.Input
+			continue
+		case *planner.LimitNode:
+			scan = v.Input
+			continue
+		}
+		break
+	}
+
+	ctx := &evalCtx{db: db, cols: make(colIndex)}
+	var rids []btree.RID
+	var tups []sqltypes.Tuple
+
+	switch sc := scan.(type) {
+	case *planner.SeqScanNode:
+		if err := db.bindTable(ctx, sc.Table, sc.Binding); err != nil {
+			return nil, nil, err
+		}
+		heap := db.heaps[t.Name]
+		var scanErr error
+		heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
+			db.tuplesProcessed++
+			r := newRow()
+			r.vals[sc.Binding] = tup
+			if sc.Filter != nil {
+				ok, err := ctx.evalExpr(sc.Filter, r)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !truthy(ok) {
+					return true
+				}
+			}
+			rids = append(rids, rid)
+			tups = append(tups, tup)
+			return true
+		})
+		if scanErr != nil {
+			return nil, nil, scanErr
+		}
+	case *planner.IndexScanNode:
+		if err := db.bindTable(ctx, sc.Table, sc.Binding); err != nil {
+			return nil, nil, err
+		}
+		trees := db.indexes[sc.Index.Name]
+		if len(trees) == 0 {
+			return nil, nil, fmt.Errorf("engine: index %q has no tree", sc.Index.Name)
+		}
+		db.indexUsage[sc.Index.Name]++
+		heap := db.heaps[t.Name]
+		env := newRow()
+		bounds, eqKey, err := db.buildProbeBounds(ctx, sc, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		var scanErr error
+		for _, pb := range bounds {
+			for _, tree := range db.probeTrees(sc.Index, eqKey, trees) {
+				db.indexDescents += int64(tree.Height())
+				pages := tree.ScanRange(pb.lo, pb.hi, pb.loInc, pb.hiInc, func(e btree.Entry) bool {
+					db.indexTuplesRW++
+					tup := heap.Fetch(e.RID)
+					if tup == nil {
+						return true
+					}
+					db.tuplesProcessed++
+					r := newRow()
+					r.vals[sc.Binding] = tup
+					if sc.Residual != nil {
+						ok, err := ctx.evalExpr(sc.Residual, r)
+						if err != nil {
+							scanErr = err
+							return false
+						}
+						if !truthy(ok) {
+							return true
+						}
+					}
+					rids = append(rids, e.RID)
+					tups = append(tups, tup)
+					return true
+				})
+				db.io.IndexPagesRead += pages
+				if scanErr != nil {
+					return nil, nil, scanErr
+				}
+			}
+		}
+	default:
+		return nil, nil, fmt.Errorf("engine: unexpected write-target scan %T", scan)
+	}
+	db.operatorEvals += ctx.ops
+	return rids, tups, nil
+}
+
+// execUpdate rewrites matching tuples; indexes whose key columns changed are
+// maintained instantly (delete old entry + insert new).
+func (db *DB) execUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
+	t := db.cat.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
+	}
+	rids, tups, err := db.targetRows(s.Table, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	heap := db.heaps[t.Name]
+	ctx := &evalCtx{db: db, cols: make(colIndex)}
+	ctx.cols.addBinding(t.Name, t.ColumnNames())
+
+	// Which indexes have a key column among the SET targets?
+	touched := make(map[string]bool, len(s.Set))
+	for _, a := range s.Set {
+		touched[a.Column] = true
+	}
+	var affectedIdx []*catalog.IndexMeta
+	for _, meta := range db.cat.TableIndexes(t.Name, false) {
+		for _, c := range meta.Columns {
+			if touched[c] {
+				affectedIdx = append(affectedIdx, meta)
+				break
+			}
+		}
+	}
+
+	// SET expressions may reference columns unqualified; bind them to the
+	// target table before evaluation.
+	for _, a := range s.Set {
+		qualifyColumns(a.Value, t.Name)
+	}
+
+	for i, rid := range rids {
+		old := tups[i]
+		r := newRow()
+		r.vals[t.Name] = old
+		newTup := old.Clone()
+		for _, a := range s.Set {
+			col := t.Column(a.Column)
+			if col == nil {
+				return nil, fmt.Errorf("engine: unknown column %s.%s", t.Name, a.Column)
+			}
+			v, err := ctx.evalExpr(a.Value, r)
+			if err != nil {
+				return nil, err
+			}
+			newTup[col.Pos] = v
+		}
+		if err := heap.Update(rid, newTup); err != nil {
+			return nil, err
+		}
+		db.tuplesProcessed++
+		for _, meta := range affectedIdx {
+			db.indexDelete(meta, t, old, rid)
+			db.indexInsert(meta, t, newTup, rid)
+		}
+	}
+	db.operatorEvals += ctx.ops
+	return &Result{Stats: ExecStats{RowsAffected: int64(len(rids))}}, nil
+}
+
+// qualifyColumns rewrites unqualified column references in an expression to
+// carry the given table binding.
+func qualifyColumns(e sqlparser.Expr, table string) {
+	switch v := e.(type) {
+	case nil:
+	case *sqlparser.ColumnRef:
+		if v.Table == "" {
+			v.Table = table
+		}
+	case *sqlparser.BinaryExpr:
+		qualifyColumns(v.L, table)
+		qualifyColumns(v.R, table)
+	case *sqlparser.NotExpr:
+		qualifyColumns(v.E, table)
+	case *sqlparser.InExpr:
+		qualifyColumns(v.E, table)
+		for _, item := range v.List {
+			qualifyColumns(item, table)
+		}
+	case *sqlparser.BetweenExpr:
+		qualifyColumns(v.E, table)
+		qualifyColumns(v.Lo, table)
+		qualifyColumns(v.Hi, table)
+	case *sqlparser.IsNullExpr:
+		qualifyColumns(v.E, table)
+	case *sqlparser.FuncExpr:
+		for _, a := range v.Args {
+			qualifyColumns(a, table)
+		}
+	}
+}
+
+// execDelete tombstones matching tuples. Per the paper's remark, index
+// cleanup for deletes is deferred (vacuum-style): stale entries are skipped
+// at scan time and removed here without charging maintenance IO to the
+// statement.
+func (db *DB) execDelete(s *sqlparser.DeleteStmt) (*Result, error) {
+	t := db.cat.Table(s.Table)
+	if t == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
+	}
+	rids, tups, err := db.targetRows(s.Table, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	heap := db.heaps[t.Name]
+	for _, rid := range rids {
+		if err := heap.Delete(rid); err != nil {
+			return nil, err
+		}
+	}
+	// Deferred index cleanup: perform it without statement-visible cost.
+	savedIO := db.io
+	savedDescents, savedRW := db.indexDescents, db.indexTuplesRW
+	for i, rid := range rids {
+		for _, meta := range db.cat.TableIndexes(t.Name, false) {
+			db.indexDelete(meta, t, tups[i], rid)
+		}
+	}
+	db.io = savedIO
+	db.indexDescents, db.indexTuplesRW = savedDescents, savedRW
+
+	t.NumRows -= int64(len(rids))
+	if t.NumRows < 0 {
+		t.NumRows = 0
+	}
+	return &Result{Stats: ExecStats{RowsAffected: int64(len(rids))}}, nil
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/autoindex"
+	"repro/internal/baseline"
+	"repro/internal/costmodel"
+	"repro/internal/harness"
+	"repro/internal/workload"
+	"repro/internal/workload/tpcc"
+)
+
+// Fig8Result compares template-based vs query-level index management
+// (paper Fig. 8): near-identical final performance, management overhead cut
+// by ~98.5%.
+type Fig8Result struct {
+	Statements        int
+	Templates         int
+	TemplateTuneMs    int64
+	QueryLevelTuneMs  int64
+	OverheadReduction float64 // 1 - template/query-level
+	TemplateEvalCost  float64 // workload cost with template-chosen indexes
+	QueryEvalCost     float64 // workload cost with query-level indexes
+	PerfDelta         float64 // (query - template)/query; ~0 expected
+}
+
+// Fig8TemplateOverhead runs both management paths on the same TPC-C stream.
+func Fig8TemplateOverhead(seed int64, txns int) (*Fig8Result, error) {
+	p := DefaultFig5Params(1)
+	p.Seed = seed
+	p.WarmTxns = txns
+
+	out := &Fig8Result{}
+
+	// Template-based path (AutoIndex proper).
+	{
+		db, _, warm, eval, err := freshTPCC(p)
+		if err != nil {
+			return nil, err
+		}
+		out.Statements = len(warm)
+		m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+		harness.Run(db, warm)
+
+		start := time.Now()
+		// Management = template mapping + candidate generation + selection.
+		if err := observeAll(m, warm); err != nil {
+			return nil, err
+		}
+		rec, err := m.Recommend()
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := m.Apply(rec); err != nil {
+			return nil, err
+		}
+		out.TemplateTuneMs = time.Since(start).Milliseconds()
+		out.Templates = m.TemplateStore().Len()
+		run := harness.Run(db, eval)
+		out.TemplateEvalCost = run.TotalCost
+	}
+
+	// Query-level path: per-query candidate extraction + greedy selection
+	// over the raw statement list (the method the paper ablates against).
+	{
+		db, _, warm, eval, err := freshTPCC(p)
+		if err != nil {
+			return nil, err
+		}
+		harness.Run(db, warm)
+		est, gen := newGreedyTools(db)
+
+		start := time.Now()
+		w := rawWorkload(warm)
+		gres, err := baseline.Greedy(est, gen, w, nil, baseline.GreedyOptions{PerQuery: true, AtomicOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := applyGreedy(db, gres); err != nil {
+			return nil, err
+		}
+		out.QueryLevelTuneMs = time.Since(start).Milliseconds()
+		run := harness.Run(db, eval)
+		out.QueryEvalCost = run.TotalCost
+	}
+
+	if out.QueryLevelTuneMs > 0 {
+		out.OverheadReduction = 1 - float64(out.TemplateTuneMs)/float64(out.QueryLevelTuneMs)
+	}
+	if out.QueryEvalCost > 0 {
+		out.PerfDelta = (out.QueryEvalCost - out.TemplateEvalCost) / out.QueryEvalCost
+	}
+	return out, nil
+}
+
+// rawWorkload wraps every statement with weight 1 (no template compression).
+func rawWorkload(stmts []string) *workload.Workload {
+	w := &workload.Workload{}
+	for _, s := range stmts {
+		// Skip unparsable statements silently; the stream is known-good.
+		_ = w.Add(s, 1)
+	}
+	return w
+}
+
+// EstimatorAccuracyResult compares the learned one-layer regression against
+// the static-weight formula via 9-fold cross validation (paper §V/§VI-A).
+type EstimatorAccuracyResult struct {
+	Samples      int
+	LearnedError float64 // mean relative absolute error
+	StaticError  float64
+}
+
+// EstimatorAccuracy collects (features, measured cost) samples on TPC-C and
+// cross-validates the learned model against the static formula.
+func EstimatorAccuracy(seed int64, txns int) (*EstimatorAccuracyResult, error) {
+	p := DefaultFig5Params(1)
+	p.Seed = seed
+	db, l, warm, _, err := freshTPCC(p)
+	if err != nil {
+		return nil, err
+	}
+	// Index some columns so features span indexed and unindexed plans.
+	for _, ddl := range []string{
+		"CREATE INDEX ea_ol ON orderline (ol_o_id)",
+		"CREATE INDEX ea_st ON stock (s_i_id, s_w_id)",
+	} {
+		if _, err := db.Exec(ddl); err != nil {
+			return nil, err
+		}
+	}
+	est := costmodel.NewEstimator(db.Catalog())
+	stream := append(warm, harness.Flatten(l.Transactions(txns, tpcc.StandardMix()))...)
+	samples, _ := harness.CollectSamples(db, est, stream, 400)
+
+	out := &EstimatorAccuracyResult{Samples: len(samples)}
+	out.LearnedError, err = costmodel.CrossValidate(samples, 9, 0, 400, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Static formula error on the same samples.
+	var total float64
+	for _, s := range samples {
+		pred := costmodel.StaticCost(s.Features)
+		denom := s.Actual
+		if denom < 1e-6 {
+			denom = 1e-6
+		}
+		d := pred - s.Actual
+		if d < 0 {
+			d = -d
+		}
+		total += d / denom
+	}
+	out.StaticError = total / float64(len(samples))
+	return out, nil
+}

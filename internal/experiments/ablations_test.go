@@ -1,0 +1,83 @@
+package experiments
+
+import "testing"
+
+func TestWriteCostAwareness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("write-awareness ablation in short mode")
+	}
+	res, err := WriteCostAwareness(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: on the insert-heavy phase the index is a net loss.
+	if res.CostDropped >= res.CostKept {
+		t.Fatalf("dropping the index should be cheaper on W2: kept=%.0f dropped=%.0f",
+			res.CostKept, res.CostDropped)
+	}
+	if !res.AwareDropsCommunity {
+		t.Error("write-aware estimator should drop the community index")
+	}
+	if res.BlindDropsCommunity {
+		t.Error("read-only estimator should (wrongly) keep the community index")
+	}
+}
+
+func TestGammaSweep(t *testing.T) {
+	points, err := GammaSweep(11, []float64{0.01, 0.5, 1.4, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("want 4 points, got %d", len(points))
+	}
+	// With a healthy γ the pair must be found; report the sweep shape.
+	foundAny := false
+	for _, p := range points {
+		if p.FoundPair {
+			foundAny = true
+			if p.BestCost > 300 {
+				t.Errorf("γ=%.2f found pair but cost is %.0f", p.Gamma, p.BestCost)
+			}
+		}
+	}
+	if !foundAny {
+		t.Error("at least one γ setting should find the correlated pair")
+	}
+	// Default γ (1.4) must find it.
+	for _, p := range points {
+		if p.Gamma == 1.4 && !p.FoundPair {
+			t.Error("default γ should find the pair")
+		}
+	}
+}
+
+func TestDRLComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("DRL comparison in short mode")
+	}
+	res, err := DRLComparison(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MCTSCost >= res.BaseCost || res.RLCost >= res.BaseCost {
+		t.Fatalf("both methods should improve on base: base=%.0f mcts=%.0f rl=%.0f",
+			res.BaseCost, res.MCTSCost, res.RLCost)
+	}
+	// MCTS should be at least as good as the RL agent's policy.
+	if res.MCTSCost > res.RLCost*1.05 {
+		t.Errorf("MCTS should match or beat RL quality: %.0f vs %.0f", res.MCTSCost, res.RLCost)
+	}
+	// The training bill: RL interactions dwarf MCTS evaluations.
+	if res.RLInteractions < res.MCTSEvaluations*3 {
+		t.Errorf("RL interactions should dwarf MCTS evaluations: %d vs %d",
+			res.RLInteractions, res.MCTSEvaluations)
+	}
+	// The structural gap.
+	if !res.MCTSRemovesHarmful {
+		t.Error("MCTS should remove the planted harmful index")
+	}
+	if res.RLRemovesHarmful {
+		t.Error("the add-only RL agent cannot remove")
+	}
+}

@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestIndexTypeSelection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("index-type selection in short mode")
+	}
+	res, err := IndexTypeSelection(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth: local must win the partition-key workload, global the
+	// non-key workload.
+	if res.KeyWorkloadLocal >= res.KeyWorkloadGlobal {
+		t.Errorf("local should win the partition-key workload: local=%.1f global=%.1f",
+			res.KeyWorkloadLocal, res.KeyWorkloadGlobal)
+	}
+	if res.NonKeyWorkloadGlobal >= res.NonKeyWorkloadLocal {
+		t.Errorf("global should win the non-key workload: global=%.1f local=%.1f",
+			res.NonKeyWorkloadGlobal, res.NonKeyWorkloadLocal)
+	}
+	// AutoIndex should pick accordingly.
+	if res.PartitionKeyChoice != "local" {
+		t.Errorf("partition-key workload should choose a local index, got %q", res.PartitionKeyChoice)
+	}
+	if res.NonKeyChoice != "global" {
+		t.Errorf("non-key workload should choose a global index, got %q", res.NonKeyChoice)
+	}
+}

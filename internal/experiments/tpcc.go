@@ -1,0 +1,415 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/autoindex"
+	"repro/internal/baseline"
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/workload/tpcc"
+)
+
+// Fig5Result holds the Fig. 5(a–f) rows for one TPC-C scale: latency and
+// throughput for Default, Greedy and AutoIndex.
+type Fig5Result struct {
+	Scale   int
+	Results []MethodResult
+}
+
+// Fig5Params sizes the experiment.
+type Fig5Params struct {
+	Scale    int
+	WarmTxns int // observation/tuning window
+	EvalTxns int // measured window
+	Seed     int64
+	Budget   int64
+}
+
+// DefaultFig5Params returns the standard sizes for one scale.
+func DefaultFig5Params(scale int) Fig5Params {
+	return Fig5Params{Scale: scale, WarmTxns: 150, EvalTxns: 400, Seed: 7}
+}
+
+// Fig5TPCC runs the three methods on TPC-C at one scale (Fig. 5 reports
+// scales 1, 10 and 100). Each method gets its own identically-seeded
+// database and workload stream.
+func Fig5TPCC(p Fig5Params) (*Fig5Result, error) {
+	out := &Fig5Result{Scale: p.Scale}
+
+	// Default: primary keys only.
+	{
+		db, loader, warm, eval, err := freshTPCC(p)
+		if err != nil {
+			return nil, err
+		}
+		_ = loader
+		harness.Run(db, warm)
+		run := harness.Run(db, eval)
+		n, bytes := secondaryIndexStats(db.Catalog())
+		out.Results = append(out.Results, MethodResult{
+			Method: "Default", Run: run, IndexCount: n, IndexBytes: bytes})
+	}
+
+	// Greedy baseline.
+	{
+		db, _, warm, eval, err := freshTPCC(p)
+		if err != nil {
+			return nil, err
+		}
+		m := autoindex.New(db, autoindex.Options{}) // template store reused for fairness
+		if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
+			return nil, err
+		}
+		est, gen := newGreedyTools(db)
+		w := m.TemplateStore().Workload()
+		start := time.Now()
+		gres, err := baseline.Greedy(est, gen, w, nil, baseline.GreedyOptions{Budget: p.Budget, AtomicOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := applyGreedy(db, gres); err != nil {
+			return nil, err
+		}
+		tune := time.Since(start)
+		run := harness.Run(db, eval)
+		n, bytes := secondaryIndexStats(db.Catalog())
+		out.Results = append(out.Results, MethodResult{
+			Method: "Greedy", Run: run, IndexCount: n, IndexBytes: bytes,
+			TuneMillis: tune.Milliseconds()})
+	}
+
+	// AutoIndex.
+	{
+		db, _, warm, eval, err := freshTPCC(p)
+		if err != nil {
+			return nil, err
+		}
+		m := autoindex.New(db, autoindex.Options{
+			Budget: p.Budget, MCTS: defaultMCTS(p.Seed)})
+		if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rec, err := m.Recommend()
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := m.Apply(rec); err != nil {
+			return nil, err
+		}
+		tune := time.Since(start)
+		run := harness.Run(db, eval)
+		n, bytes := secondaryIndexStats(db.Catalog())
+		out.Results = append(out.Results, MethodResult{
+			Method: "AutoIndex", Run: run, IndexCount: n, IndexBytes: bytes,
+			TuneMillis: tune.Milliseconds()})
+	}
+	return out, nil
+}
+
+// freshTPCC loads a database and generates the warm/eval statement streams.
+func freshTPCC(p Fig5Params) (*engine.DB, *tpcc.Loader, []string, []string, error) {
+	db := engine.New()
+	l := tpcc.NewLoader(tpcc.Scale(p.Scale), p.Seed)
+	if err := l.Load(db); err != nil {
+		return nil, nil, nil, nil, err
+	}
+	warm := harness.Flatten(l.Transactions(p.WarmTxns, tpcc.StandardMix()))
+	eval := harness.Flatten(l.Transactions(p.EvalTxns, tpcc.StandardMix()))
+	return db, l, warm, eval, nil
+}
+
+// Table1Row is one added index with its estimated cost reduction.
+type Table1Row struct {
+	Method string
+	Index  string
+	// CostReduction is the index's marginal estimated benefit as a fraction
+	// of the query cost it optimizes (the paper's "cost ↓").
+	CostReduction float64
+}
+
+// Table1AddedIndexes reproduces Table I: the indexes AutoIndex adds beyond
+// Greedy, with their cost reductions. The paper runs this on TPC-C1x; our
+// row counts are scaled down ~100x from the official kit, so scale 10 here
+// matches the paper's 1x data volume best (tables must be large enough that
+// composite indexes beat scans at all).
+func Table1AddedIndexes(seed int64) ([]Table1Row, error) {
+	p := DefaultFig5Params(10)
+	p.WarmTxns = 400
+	p.Seed = seed
+
+	db, _, warm, _, err := freshTPCC(p)
+	if err != nil {
+		return nil, err
+	}
+	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+	if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
+		return nil, err
+	}
+	w := m.TemplateStore().Workload()
+
+	var rows []Table1Row
+
+	// Greedy selection.
+	est, gen := newGreedyTools(db)
+	gres, err := baseline.Greedy(est, gen, w, nil, baseline.GreedyOptions{AtomicOnly: true})
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range gres.Selected {
+		frac := 0.0
+		if gres.BaseCost > 0 {
+			frac = gres.PerIndexBenefit[i] / gres.BaseCost
+		}
+		rows = append(rows, Table1Row{Method: "Greedy", Index: spec.Key(), CostReduction: frac})
+	}
+
+	// AutoIndex selection with per-index marginal benefits.
+	rec, err := m.Recommend()
+	if err != nil {
+		return nil, err
+	}
+	for _, spec := range rec.Create {
+		b, err := m.Estimator().Benefit(w, nil, spec)
+		if err != nil {
+			return nil, err
+		}
+		frac := 0.0
+		if rec.BaseCost > 0 {
+			frac = b / rec.BaseCost
+		}
+		rows = append(rows, Table1Row{Method: "AutoIndex", Index: spec.Key(), CostReduction: frac})
+	}
+	return rows, nil
+}
+
+// Fig9Epoch is one epoch of the dynamic-workload experiment.
+type Fig9Epoch struct {
+	Epoch   int
+	Mix     string
+	Results []MethodResult
+}
+
+// Fig9Dynamic reproduces Fig. 9: a TPC-C stream whose mix shifts across
+// epochs; AutoIndex re-tunes at each epoch boundary (the paper tunes every
+// five minutes), Greedy tunes once on the first epoch, Default never.
+func Fig9Dynamic(seed int64, txnsPerEpoch int) ([]Fig9Epoch, error) {
+	mixes := []struct {
+		name string
+		mix  tpcc.Mix
+	}{
+		{"standard", tpcc.StandardMix()},
+		{"write-heavy", tpcc.WriteHeavyMix()},
+		{"read-heavy", tpcc.ReadHeavyMix()},
+		{"standard", tpcc.StandardMix()},
+		// The second standard epoch exposes adaptation lag: the forecast
+		// variant has already shed the read-heavy extras by now.
+		{"standard", tpcc.StandardMix()},
+	}
+
+	type methodState struct {
+		name   string
+		db     *engine.DB
+		loader *tpcc.Loader
+		mgr    *autoindex.Manager
+	}
+	newState := func(name string) (*methodState, error) {
+		db := engine.New()
+		l := tpcc.NewLoader(1, seed)
+		if err := l.Load(db); err != nil {
+			return nil, err
+		}
+		st := &methodState{name: name, db: db, loader: l}
+		switch name {
+		case "Default":
+		case "AutoIndex+F":
+			// Forecast mode (paper §IV-C): tuning rounds weight templates by
+			// their EWMA trend, shortening the adaptation lag on mix swings.
+			st.mgr = autoindex.New(db, autoindex.Options{
+				MCTS: defaultMCTS(seed), UseForecast: true})
+		default:
+			st.mgr = autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+		}
+		return st, nil
+	}
+
+	states := make([]*methodState, 0, 4)
+	for _, n := range []string{"Default", "Greedy", "AutoIndex", "AutoIndex+F"} {
+		st, err := newState(n)
+		if err != nil {
+			return nil, err
+		}
+		states = append(states, st)
+	}
+
+	var out []Fig9Epoch
+	for e, mx := range mixes {
+		ep := Fig9Epoch{Epoch: e + 1, Mix: mx.name}
+		for _, st := range states {
+			stmts := harness.Flatten(st.loader.Transactions(txnsPerEpoch, mx.mix))
+			var run harness.RunStats
+			var tune time.Duration
+			switch st.name {
+			case "Default":
+				run = harness.Run(st.db, stmts)
+			case "Greedy":
+				// One-shot tuning after the first epoch only (greedy methods
+				// don't support incremental removal).
+				var err error
+				run, err = harness.RunAndObserve(st.db, stmts, st.mgr.Observe)
+				if err != nil {
+					return nil, err
+				}
+				if e == 0 {
+					est, gen := newGreedyTools(st.db)
+					start := time.Now()
+					gres, err := baseline.Greedy(est, gen, st.mgr.TemplateStore().Workload(), nil, baseline.GreedyOptions{AtomicOnly: true})
+					if err != nil {
+						return nil, err
+					}
+					if err := applyGreedy(st.db, gres); err != nil {
+						return nil, err
+					}
+					tune = time.Since(start)
+				}
+			case "AutoIndex", "AutoIndex+F":
+				var err error
+				run, err = harness.RunAndObserve(st.db, stmts, st.mgr.Observe)
+				if err != nil {
+					return nil, err
+				}
+				start := time.Now()
+				st.mgr.CloseWindow() // trend boundary (forecast variant)
+				rec, err := st.mgr.Recommend()
+				if err != nil {
+					return nil, err
+				}
+				if _, _, err := st.mgr.Apply(rec); err != nil {
+					return nil, err
+				}
+				tune = time.Since(start)
+				// Workload shifts: decay template history between epochs.
+				st.mgr.TemplateStore().Decay(0.3, 0.5)
+			}
+			n, bytes := secondaryIndexStats(st.db.Catalog())
+			ep.Results = append(ep.Results, MethodResult{
+				Method: st.name, Run: run, IndexCount: n, IndexBytes: bytes,
+				TuneMillis: tune.Milliseconds()})
+		}
+		out = append(out, ep)
+	}
+	return out, nil
+}
+
+// Fig10Budget is one storage-budget row of Fig. 10.
+type Fig10Budget struct {
+	Label   string
+	Budget  int64
+	Results []MethodResult
+}
+
+// Fig10StorageBudgets reproduces Fig. 10 on TPC-C100x-style data: AutoIndex
+// vs Greedy under shrinking storage budgets. Budgets scale with our reduced
+// data volume; labels mirror the paper's {no limit, 150M, 100M, 50M}.
+func Fig10StorageBudgets(seed int64, scale int) ([]Fig10Budget, error) {
+	p := DefaultFig5Params(scale)
+	p.Seed = seed
+
+	// Calibrate budgets to the dataset: the paper's 150M/100M/50M on ~1G
+	// data map proportionally onto our index sizes.
+	dbProbe, _, warmProbe, _, err := freshTPCC(p)
+	if err != nil {
+		return nil, err
+	}
+	mProbe := autoindex.New(dbProbe, autoindex.Options{MCTS: defaultMCTS(seed)})
+	if _, err := harness.RunAndObserve(dbProbe, warmProbe, mProbe.Observe); err != nil {
+		return nil, err
+	}
+	recProbe, err := mProbe.Recommend()
+	if err != nil {
+		return nil, err
+	}
+	var fullBytes int64
+	for _, c := range recProbe.Create {
+		fullBytes += c.SizeBytes
+	}
+	if fullBytes == 0 {
+		fullBytes = 1 << 20
+	}
+
+	budgets := []Fig10Budget{
+		{Label: "no-limit", Budget: 0},
+		{Label: "150M-equiv", Budget: fullBytes * 3 / 4},
+		{Label: "100M-equiv", Budget: fullBytes / 2},
+		{Label: "50M-equiv", Budget: fullBytes / 4},
+	}
+
+	for bi := range budgets {
+		b := &budgets[bi]
+
+		// Greedy under this budget.
+		{
+			db, _, warm, eval, err := freshTPCC(p)
+			if err != nil {
+				return nil, err
+			}
+			m := autoindex.New(db, autoindex.Options{})
+			if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
+				return nil, err
+			}
+			est, gen := newGreedyTools(db)
+			start := time.Now()
+			gres, err := baseline.Greedy(est, gen, m.TemplateStore().Workload(), nil,
+				baseline.GreedyOptions{Budget: b.Budget, AtomicOnly: true})
+			if err != nil {
+				return nil, err
+			}
+			if err := applyGreedy(db, gres); err != nil {
+				return nil, err
+			}
+			tune := time.Since(start)
+			run := harness.Run(db, eval)
+			n, bytes := secondaryIndexStats(db.Catalog())
+			b.Results = append(b.Results, MethodResult{
+				Method: "Greedy", Run: run, IndexCount: n, IndexBytes: bytes,
+				TuneMillis: tune.Milliseconds()})
+		}
+
+		// AutoIndex under this budget.
+		{
+			db, _, warm, eval, err := freshTPCC(p)
+			if err != nil {
+				return nil, err
+			}
+			m := autoindex.New(db, autoindex.Options{Budget: b.Budget, MCTS: defaultMCTS(seed)})
+			if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
+				return nil, err
+			}
+			start := time.Now()
+			rec, err := m.Recommend()
+			if err != nil {
+				return nil, err
+			}
+			if _, _, err := m.Apply(rec); err != nil {
+				return nil, err
+			}
+			tune := time.Since(start)
+			// The budget holds at apply time (against estimated sizes, with
+			// ~2% real-build drift); the eval run's inserts then grow the
+			// indexes naturally, as they would in production.
+			_, bytesAtApply := secondaryIndexStats(db.Catalog())
+			if b.Budget > 0 && bytesAtApply > b.Budget*102/100 {
+				return nil, fmt.Errorf("experiments: budget violated at apply: %d > %d",
+					bytesAtApply, b.Budget)
+			}
+			run := harness.Run(db, eval)
+			n, bytes := secondaryIndexStats(db.Catalog())
+			b.Results = append(b.Results, MethodResult{
+				Method: "AutoIndex", Run: run, IndexCount: n, IndexBytes: bytes,
+				TuneMillis: tune.Milliseconds()})
+		}
+	}
+	return budgets, nil
+}

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/autoindex"
+	"repro/internal/baseline"
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/workload/tpcds"
+)
+
+// PerQueryReduction is one query's execution-time reduction under a method.
+type PerQueryReduction struct {
+	Query     string
+	BaseCost  float64
+	TunedCost float64
+}
+
+// Reduction returns the fractional cost reduction (0.25 = 25% faster).
+func (p PerQueryReduction) Reduction() float64 {
+	if p.BaseCost <= 0 {
+		return 0
+	}
+	r := (p.BaseCost - p.TunedCost) / p.BaseCost
+	if r < 0 {
+		return r // regressions are reported, not clamped
+	}
+	return r
+}
+
+// Fig6Result holds per-query reductions for both methods (Fig. 6) and the
+// derived histogram counts (Fig. 7).
+type Fig6Result struct {
+	AutoIndex []PerQueryReduction
+	Greedy    []PerQueryReduction
+	// Indexes selected by each method.
+	AutoIndexCount, GreedyCount int
+}
+
+// ImprovedOver counts queries whose reduction exceeds the threshold.
+func ImprovedOver(rs []PerQueryReduction, threshold float64) int {
+	n := 0
+	for _, r := range rs {
+		if r.Reduction() > threshold {
+			n++
+		}
+	}
+	return n
+}
+
+// Fig6TPCDS runs the TPC-DS-style query set under Default, then tunes with
+// Greedy and with AutoIndex (same estimator), and reports per-query cost
+// reductions. The paper's headline: AutoIndex optimizes ~3x more queries by
+// >10% than Greedy (44 vs 15) because it finds correlated index sets.
+func Fig6TPCDS(seed int64) (*Fig6Result, error) {
+	qs := tpcds.QuerySet()
+	stmts := make([]string, len(qs))
+	for i, q := range qs {
+		stmts[i] = q.SQL
+	}
+
+	// Base costs on a PK-only database.
+	baseDB := engine.New()
+	if err := tpcds.NewLoader(seed).Load(baseDB); err != nil {
+		return nil, err
+	}
+	baseCosts := harness.PerQueryCosts(baseDB, stmts)
+
+	out := &Fig6Result{}
+
+	// Greedy: bounded index count like the paper (Greedy picked 3 there).
+	{
+		db := engine.New()
+		if err := tpcds.NewLoader(seed).Load(db); err != nil {
+			return nil, err
+		}
+		m := autoindex.New(db, autoindex.Options{})
+		if err := observeAll(m, stmts); err != nil {
+			return nil, err
+		}
+		est, gen := newGreedyTools(db)
+		gres, err := baseline.Greedy(est, gen, m.TemplateStore().Workload(), nil,
+			baseline.GreedyOptions{MaxIndexes: 3, AtomicOnly: true})
+		if err != nil {
+			return nil, err
+		}
+		if err := applyGreedy(db, gres); err != nil {
+			return nil, err
+		}
+		out.GreedyCount = len(gres.Selected)
+		costs := harness.PerQueryCosts(db, stmts)
+		for i, q := range qs {
+			out.Greedy = append(out.Greedy, PerQueryReduction{
+				Query: q.Name, BaseCost: baseCosts[i], TunedCost: costs[i]})
+		}
+	}
+
+	// AutoIndex: full pipeline.
+	{
+		db := engine.New()
+		if err := tpcds.NewLoader(seed).Load(db); err != nil {
+			return nil, err
+		}
+		m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+		if err := observeAll(m, stmts); err != nil {
+			return nil, err
+		}
+		rec, err := m.Recommend()
+		if err != nil {
+			return nil, err
+		}
+		if _, _, err := m.Apply(rec); err != nil {
+			return nil, err
+		}
+		out.AutoIndexCount = len(rec.Create)
+		costs := harness.PerQueryCosts(db, stmts)
+		for i, q := range qs {
+			out.AutoIndex = append(out.AutoIndex, PerQueryReduction{
+				Query: q.Name, BaseCost: baseCosts[i], TunedCost: costs[i]})
+		}
+	}
+	return out, nil
+}
+
+// Q32Result reports the correlated-index motivation experiment (§III).
+type Q32Result struct {
+	BaseCost      float64
+	ItemIndexOnly float64
+	DateIndexOnly float64
+	BothIndexes   float64
+	// GreedyPicksPair reports whether one-step greedy would select either
+	// index on its own merits (it should not — that is the point).
+	GreedySeesBenefit bool
+	// MCTSPicksPair reports whether the tree search finds the pair.
+	MCTSPicksPair bool
+	TuneMillis    int64
+}
+
+// Q32Correlated reproduces the paper's §III motivating case on the
+// TPC-DS-style Q32 analogue: each index alone yields little, the pair is
+// transformative; greedy stalls, MCTS finds the pair.
+func Q32Correlated(seed int64) (*Q32Result, error) {
+	q := `SELECT cs.cs_price, ws.ws_price FROM catalog_sales cs JOIN web_sales ws ON ws.ws_customer_id = cs.cs_customer_id WHERE cs.cs_item_id = 37 AND ws.ws_quantity > 12`
+
+	build := func(indexes ...string) (float64, error) {
+		db := engine.New()
+		if err := tpcds.NewLoader(seed).Load(db); err != nil {
+			return 0, err
+		}
+		for _, ddl := range indexes {
+			if _, err := db.Exec(ddl); err != nil {
+				return 0, err
+			}
+		}
+		res, err := db.Exec(q)
+		if err != nil {
+			return 0, err
+		}
+		return res.Stats.ActualCost(), nil
+	}
+
+	itemIdx := "CREATE INDEX x_item ON catalog_sales (cs_item_id)"
+	dateIdx := "CREATE INDEX x_cust ON web_sales (ws_customer_id)"
+
+	out := &Q32Result{}
+	var err error
+	if out.BaseCost, err = build(); err != nil {
+		return nil, err
+	}
+	if out.ItemIndexOnly, err = build(itemIdx); err != nil {
+		return nil, err
+	}
+	if out.DateIndexOnly, err = build(dateIdx); err != nil {
+		return nil, err
+	}
+	if out.BothIndexes, err = build(itemIdx, dateIdx); err != nil {
+		return nil, err
+	}
+
+	// Now let AutoIndex search for the pair from the raw query.
+	db := engine.New()
+	if err := tpcds.NewLoader(seed).Load(db); err != nil {
+		return nil, err
+	}
+	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+	if err := m.Observe(q); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	rec, err := m.Recommend()
+	if err != nil {
+		return nil, err
+	}
+	out.TuneMillis = time.Since(start).Milliseconds()
+	var hasItem, hasCust bool
+	for _, c := range rec.Create {
+		switch c.Key() {
+		case "catalog_sales(cs_item_id)":
+			hasItem = true
+		case "web_sales(ws_customer_id)":
+			hasCust = true
+		}
+	}
+	out.MCTSPicksPair = hasItem && hasCust
+	out.GreedySeesBenefit = out.ItemIndexOnly < out.BaseCost*0.9 ||
+		out.DateIndexOnly < out.BaseCost*0.9
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package hypo
+
+import (
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/sqltypes"
+)
+
+func testTable(t *testing.T) (*catalog.Catalog, *catalog.Table) {
+	t.Helper()
+	cat := catalog.New()
+	tbl, err := cat.CreateTable("t", []catalog.Column{
+		{Name: "a", Type: sqltypes.KindInt},
+		{Name: "b", Type: sqltypes.KindString},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.NumRows = 100000
+	tbl.Stats["a"] = &catalog.ColumnStats{NumRows: 100000, NumDistinct: 1000, AvgWidth: 8}
+	tbl.Stats["b"] = &catalog.ColumnStats{NumRows: 100000, NumDistinct: 500, AvgWidth: 20}
+	return cat, tbl
+}
+
+func TestEstimateScalesWithRowsAndWidth(t *testing.T) {
+	_, tbl := testTable(t)
+	a, err := Estimate(tbl, []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := Estimate(tbl, []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ab.SizeBytes <= a.SizeBytes {
+		t.Errorf("wider key must estimate larger: %d vs %d", ab.SizeBytes, a.SizeBytes)
+	}
+	if a.NumTuples != 100000 {
+		t.Errorf("tuples: %d", a.NumTuples)
+	}
+	if a.Height < 2 {
+		t.Errorf("100k entries should be multi-level, height=%d", a.Height)
+	}
+	if !a.Hypothetical {
+		t.Error("estimate must mark hypothetical")
+	}
+}
+
+func TestEstimateEmptyTable(t *testing.T) {
+	cat := catalog.New()
+	tbl, _ := cat.CreateTable("empty", []catalog.Column{{Name: "x", Type: sqltypes.KindInt}}, nil)
+	m, err := Estimate(tbl, []string{"x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Height != 1 || m.NumPages != 1 {
+		t.Errorf("empty table index: height=%d pages=%d", m.Height, m.NumPages)
+	}
+}
+
+func TestEstimateUnknownColumn(t *testing.T) {
+	_, tbl := testTable(t)
+	if _, err := Estimate(tbl, []string{"ghost"}); err == nil {
+		t.Error("unknown column must fail")
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	cat, _ := testTable(t)
+	s := NewSession(cat)
+	m1, err := s.Create("", "t", []string{"a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := s.Create("named", "t", []string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Name != "named" {
+		t.Errorf("explicit name: %q", m2.Name)
+	}
+	if cat.Index(m1.Name) == nil || cat.Index("named") == nil {
+		t.Fatal("hypothetical indexes should be in catalog")
+	}
+	if len(cat.Indexes(false)) != 0 {
+		t.Error("hypothetical indexes must not appear as real")
+	}
+	s.Close()
+	if cat.Index(m1.Name) != nil || cat.Index("named") != nil {
+		t.Error("Close must drop all session indexes")
+	}
+}
+
+func TestSessionUnknownTable(t *testing.T) {
+	cat, _ := testTable(t)
+	s := NewSession(cat)
+	defer s.Close()
+	if _, err := s.Create("", "ghost", []string{"a"}); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+func TestHeightMonotonic(t *testing.T) {
+	prev := 0
+	for _, n := range []int64{0, 10, 1000, 100000, 10000000} {
+		h := estimateHeight(n)
+		if h < prev {
+			t.Errorf("height must not decrease with n: n=%d h=%d prev=%d", n, h, prev)
+		}
+		prev = h
+	}
+}

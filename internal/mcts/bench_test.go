@@ -1,0 +1,27 @@
+package mcts
+
+import "testing"
+
+// BenchmarkSearchSyntheticLandscape measures one full search over a random
+// 10-candidate landscape with a memoized evaluator — the pure orchestration
+// overhead of the policy-tree machinery.
+func BenchmarkSearchSyntheticLandscape(b *testing.B) {
+	l := newLandscape(10, 5)
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(l.evaluator(), nil, l.specs,
+			Config{Iterations: 200, Rollouts: 4, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchWideCandidatePool stresses expansion with 24 candidates.
+func BenchmarkSearchWideCandidatePool(b *testing.B) {
+	l := newLandscape(24, 9)
+	for i := 0; i < b.N; i++ {
+		if _, err := Search(l.evaluator(), nil, l.specs,
+			Config{Iterations: 300, Rollouts: 5, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

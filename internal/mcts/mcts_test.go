@@ -1,0 +1,257 @@
+package mcts
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// idx makes a lightweight index spec for synthetic evaluators.
+func idx(table, col string, size int64) *catalog.IndexMeta {
+	return &catalog.IndexMeta{
+		Name: "i_" + table + "_" + col, Table: table,
+		Columns: []string{col}, SizeBytes: size, Hypothetical: true,
+	}
+}
+
+// costTable builds an Evaluator from a map of configuration key → cost, with
+// a default cost for unknown configurations.
+func costTable(costs map[string]float64, def float64) Evaluator {
+	return EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+		if c, ok := costs[setKey(active)]; ok {
+			return c, nil
+		}
+		return def, nil
+	})
+}
+
+func TestFindsObviouslyGoodIndex(t *testing.T) {
+	a := idx("t", "a", 100)
+	costs := map[string]float64{
+		"":     1000,
+		"t(a)": 100,
+	}
+	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a},
+		Config{Iterations: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AddedKeys) != 1 || res.AddedKeys[0] != "t(a)" {
+		t.Errorf("should add t(a): %+v", res)
+	}
+	if res.Benefit() != 900 {
+		t.Errorf("benefit: %v", res.Benefit())
+	}
+}
+
+func TestRemovesHarmfulIndex(t *testing.T) {
+	bad := idx("t", "hot", 100)
+	costs := map[string]float64{
+		"":       500, // without the index: cheap
+		"t(hot)": 900, // heavy maintenance cost
+	}
+	res, err := Search(costTable(costs, 900), []*catalog.IndexMeta{bad}, nil,
+		Config{Iterations: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RemovedKeys) != 1 || res.RemovedKeys[0] != "t(hot)" {
+		t.Errorf("should remove t(hot): %+v", res)
+	}
+}
+
+func TestCorrelatedIndexesBeatGreedy(t *testing.T) {
+	// The paper's TPC-DS Q32 motivation: each index alone barely helps, the
+	// pair together is transformative. A greedy top-1 search would stall.
+	a := idx("t1", "a", 100)
+	b := idx("t2", "b", 100)
+	costs := map[string]float64{
+		"":            1000,
+		"t1(a)":       980, // alone: minor
+		"t2(b)":       985, // alone: minor
+		"t1(a);t2(b)": 50,  // together: huge
+	}
+	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b},
+		Config{Iterations: 100, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AddedKeys) != 2 {
+		t.Fatalf("MCTS should find the correlated pair: %+v", res)
+	}
+	if res.BestCost != 50 {
+		t.Errorf("best cost: %v", res.BestCost)
+	}
+}
+
+func TestBudgetConstraintRespected(t *testing.T) {
+	a := idx("t", "a", 600)
+	b := idx("t", "b", 600)
+	c := idx("t", "c", 300)
+	costs := map[string]float64{
+		"":               1000,
+		"t(a)":           400,
+		"t(b)":           500,
+		"t(c)":           800,
+		"t(a);t(b)":      100, // best but over budget (1200 > 1000)
+		"t(a);t(c)":      250,
+		"t(b);t(c)":      350,
+		"t(a);t(b);t(c)": 50,
+	}
+	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b, c},
+		Config{Iterations: 200, Seed: 5, Budget: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SizeBytes > 1000 {
+		t.Fatalf("budget violated: %d bytes", res.SizeBytes)
+	}
+	if res.BestCost != 250 {
+		t.Errorf("best feasible is t(a);t(c) at 250, got %v (%v)", res.BestCost, res.AddedKeys)
+	}
+}
+
+func TestUnlimitedBudgetPicksGlobalOptimum(t *testing.T) {
+	a := idx("t", "a", 600)
+	b := idx("t", "b", 600)
+	costs := map[string]float64{
+		"":          1000,
+		"t(a)":      400,
+		"t(b)":      500,
+		"t(a);t(b)": 100,
+	}
+	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b},
+		Config{Iterations: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost != 100 {
+		t.Errorf("unlimited budget should reach 100: %v", res.BestCost)
+	}
+}
+
+func TestNoCandidatesNoChanges(t *testing.T) {
+	res, err := Search(costTable(nil, 100), nil, nil, Config{Iterations: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AddedKeys) != 0 || len(res.RemovedKeys) != 0 {
+		t.Errorf("no actions possible: %+v", res)
+	}
+	if res.BaseCost != res.BestCost {
+		t.Error("costs must match with no actions")
+	}
+}
+
+func TestNeverWorseThanBase(t *testing.T) {
+	// All indexes hurt; the search must keep the empty configuration.
+	a := idx("t", "a", 10)
+	b := idx("t", "b", 10)
+	eval := EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+		return 100 + float64(len(active))*50, nil
+	})
+	res, err := Search(eval, nil, []*catalog.IndexMeta{a, b}, Config{Iterations: 50, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost > res.BaseCost {
+		t.Errorf("result worse than base: %v > %v", res.BestCost, res.BaseCost)
+	}
+	if len(res.AddedKeys) != 0 {
+		t.Errorf("should add nothing: %v", res.AddedKeys)
+	}
+}
+
+func TestMixedAddAndRemove(t *testing.T) {
+	// Existing index is harmful, candidate is helpful: do both.
+	old := idx("t", "old", 100)
+	neu := idx("t", "new", 100)
+	costs := map[string]float64{
+		"t(old)":        1000, // base
+		"":              800,
+		"t(new)":        300,
+		"t(new);t(old)": 500,
+	}
+	res, err := Search(costTable(costs, 1000), []*catalog.IndexMeta{old},
+		[]*catalog.IndexMeta{neu}, Config{Iterations: 100, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AddedKeys) != 1 || res.AddedKeys[0] != "t(new)" {
+		t.Errorf("should add t(new): %+v", res)
+	}
+	if len(res.RemovedKeys) != 1 || res.RemovedKeys[0] != "t(old)" {
+		t.Errorf("should remove t(old): %+v", res)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	a := idx("t", "a", 100)
+	b := idx("t", "b", 100)
+	costs := map[string]float64{
+		"": 1000, "t(a)": 600, "t(b)": 500, "t(a);t(b)": 200,
+	}
+	run := func() *Result {
+		r, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b},
+			Config{Iterations: 60, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if strings.Join(r1.AddedKeys, ",") != strings.Join(r2.AddedKeys, ",") ||
+		r1.BestCost != r2.BestCost {
+		t.Error("same seed must reproduce the same result")
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	a := idx("t", "a", 100)
+	costs := map[string]float64{"": 1000, "t(a)": 100}
+	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a},
+		Config{Iterations: 1000, Seed: 1, EarlyStopRounds: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations >= 1000 {
+		t.Errorf("early stop should cut iterations: %d", res.Iterations)
+	}
+	if res.BestCost != 100 {
+		t.Errorf("still must find optimum: %v", res.BestCost)
+	}
+}
+
+func TestEvaluationCaching(t *testing.T) {
+	a := idx("t", "a", 100)
+	calls := 0
+	eval := EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+		calls++
+		return 100 - float64(len(active)), nil
+	})
+	res, err := Search(eval, nil, []*catalog.IndexMeta{a}, Config{Iterations: 50, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != res.Evaluations {
+		t.Errorf("evaluations miscounted: calls=%d reported=%d", calls, res.Evaluations)
+	}
+	// Only 2 distinct configurations exist: {} and {t(a)}.
+	if calls > 2 {
+		t.Errorf("caching should dedup evaluations: %d calls", calls)
+	}
+}
+
+func TestGammaZeroStillFindsGreedyPath(t *testing.T) {
+	a := idx("t", "a", 100)
+	costs := map[string]float64{"": 1000, "t(a)": 100}
+	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a},
+		Config{Iterations: 20, Seed: 1, Gamma: -1}) // negative disables exploration bonus shape
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCost != 100 {
+		t.Errorf("trivial optimum must be found: %v", res.BestCost)
+	}
+}

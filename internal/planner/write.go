@@ -1,0 +1,181 @@
+package planner
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/costparams"
+	"repro/internal/sqlparser"
+)
+
+// PlanWrite plans an INSERT, UPDATE or DELETE, estimating the heap work plus
+// per-index maintenance following the paper's §V cost features:
+//
+//	C^io      = |pages| * seq_page_cost
+//	t_start   = (ceil(log N) + (H+1)*50) * cpu_operator_cost
+//	t_running = N_insert * cpu_index_tuple_cost
+//
+// UPDATE and INSERT maintain indexes instantly; DELETE defers index cleanup
+// (maintenance cost 0), per the paper's remark.
+func PlanWrite(cat *catalog.Catalog, stmt sqlparser.Statement) (*WritePlan, error) {
+	switch s := stmt.(type) {
+	case *sqlparser.InsertStmt:
+		return planInsert(cat, s)
+	case *sqlparser.UpdateStmt:
+		return planUpdate(cat, s)
+	case *sqlparser.DeleteStmt:
+		return planDelete(cat, s)
+	default:
+		return nil, fmt.Errorf("planner: not a write statement: %T", stmt)
+	}
+}
+
+func planInsert(cat *catalog.Catalog, s *sqlparser.InsertStmt) (*WritePlan, error) {
+	tbl := cat.Table(s.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("planner: unknown table %q", s.Table)
+	}
+	rows := float64(len(s.Values))
+	wp := &WritePlan{
+		Stmt:         s,
+		Table:        tbl.Name,
+		AffectedRows: rows,
+		WriteCost:    rows * (costparams.SeqPageCost + costparams.CPUTupleCost),
+	}
+	for _, idx := range cat.TableIndexes(tbl.Name, true) {
+		wp.MaintainIndexes = append(wp.MaintainIndexes, maintenanceCost(idx, rows))
+	}
+	finalizeWriteCost(wp)
+	return wp, nil
+}
+
+func planUpdate(cat *catalog.Catalog, s *sqlparser.UpdateStmt) (*WritePlan, error) {
+	tbl := cat.Table(s.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("planner: unknown table %q", s.Table)
+	}
+	scan, rows, used, err := planTargetScan(cat, tbl, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	touched := make([]string, 0, len(s.Set))
+	for _, a := range s.Set {
+		touched = append(touched, strings.ToLower(a.Column))
+	}
+	wp := &WritePlan{
+		Stmt:           s,
+		Scan:           scan,
+		Table:          tbl.Name,
+		AffectedRows:   rows,
+		TouchedColumns: touched,
+		ScanCost:       scan.EstCost(),
+		WriteCost:      rows * (costparams.SeqPageCost + costparams.CPUTupleCost),
+		IndexesUsed:    used,
+	}
+	// Only indexes whose key columns are touched must be maintained; an
+	// update to a non-key column leaves the index untouched (HOT-style).
+	for _, idx := range cat.TableIndexes(tbl.Name, true) {
+		if !indexTouched(idx, touched) {
+			continue
+		}
+		// An update is a delete+insert in the index: charge one maintenance
+		// plus one extra descent for locating the old entry.
+		m := maintenanceCost(idx, rows)
+		m.StartupCost *= 2
+		wp.MaintainIndexes = append(wp.MaintainIndexes, m)
+	}
+	finalizeWriteCost(wp)
+	return wp, nil
+}
+
+func planDelete(cat *catalog.Catalog, s *sqlparser.DeleteStmt) (*WritePlan, error) {
+	tbl := cat.Table(s.Table)
+	if tbl == nil {
+		return nil, fmt.Errorf("planner: unknown table %q", s.Table)
+	}
+	scan, rows, used, err := planTargetScan(cat, tbl, s.Where)
+	if err != nil {
+		return nil, err
+	}
+	wp := &WritePlan{
+		Stmt:         s,
+		Scan:         scan,
+		Table:        tbl.Name,
+		AffectedRows: rows,
+		ScanCost:     scan.EstCost(),
+		WriteCost:    rows * costparams.SeqPageCost,
+		IndexesUsed:  used,
+	}
+	// Paper §V remark: deletes update indexes after the query finishes, so
+	// their index maintenance cost is 0 — no MaintainIndexes entries.
+	finalizeWriteCost(wp)
+	return wp, nil
+}
+
+// planTargetScan plans the row-locating scan of an UPDATE/DELETE.
+func planTargetScan(cat *catalog.Catalog, tbl *catalog.Table, where sqlparser.Expr) (Node, float64, []string, error) {
+	sel := &sqlparser.SelectStmt{
+		Select: []sqlparser.SelectItem{{Star: true}},
+		From:   []sqlparser.TableRef{{Name: tbl.Name}},
+		Where:  where,
+		Limit:  -1,
+	}
+	sc, err := buildScope(cat, sel)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if where != nil {
+		if err := sc.resolveExpr(where); err != nil {
+			return nil, 0, nil, err
+		}
+	}
+	conjuncts := splitConjuncts(where)
+	scan, idxName := buildScan(cat, tbl, tbl.Name, conjuncts, false)
+	var used []string
+	if idxName != "" {
+		used = append(used, idxName)
+	}
+	return scan, scan.EstRows(), used, nil
+}
+
+// maintenanceCost computes the paper's per-index write cost features for
+// nInsert inserted/updated entries.
+func maintenanceCost(idx *catalog.IndexMeta, nInsert float64) IndexMaintenance {
+	n := float64(idx.NumTuples)
+	if n < 2 {
+		n = 2
+	}
+	h := float64(idx.Height)
+	if h < 1 {
+		h = 1
+	}
+	// Pages touched per inserted entry: the descent path (height) plus an
+	// amortized split contribution that grows with tree size.
+	pagesPerInsert := h
+	ioCost := nInsert * pagesPerInsert * costparams.SeqPageCost
+	startup := nInsert * (math.Ceil(math.Log(n)) + (h+1)*costparams.StartupDescentFactor) * costparams.CPUOperatorCost
+	running := nInsert * costparams.CPUIndexTupleCost
+	return IndexMaintenance{Index: idx, IOCost: ioCost, StartupCost: startup, RunningCost: running}
+}
+
+// indexTouched reports whether any of the index's key columns is updated.
+func indexTouched(idx *catalog.IndexMeta, touched []string) bool {
+	for _, kc := range idx.Columns {
+		for _, tc := range touched {
+			if kc == tc {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func finalizeWriteCost(wp *WritePlan) {
+	total := wp.ScanCost + wp.WriteCost
+	for _, m := range wp.MaintainIndexes {
+		total += m.Total()
+	}
+	wp.TotalCost = total
+}

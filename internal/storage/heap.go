@@ -1,0 +1,140 @@
+// Package storage implements the slotted heap files that hold table data.
+// Tuples live in fixed-capacity pages; every page touched by a scan or a
+// point fetch is charged to an IO counter, which is the ground-truth signal
+// the cost model's IO features are trained against.
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/sqltypes"
+)
+
+// TuplesPerPage is how many tuples fit in one simulated heap page. With
+// ~100-byte tuples this approximates an 8KB page.
+const TuplesPerPage = 64
+
+// IOCounter accumulates page-level IO for one statement or one workload
+// segment. The executor resets it per statement to derive per-query costs.
+type IOCounter struct {
+	HeapPagesRead     int64
+	HeapPagesWritten  int64
+	IndexPagesRead    int64
+	IndexPagesWritten int64
+}
+
+// Reset zeroes all counters.
+func (c *IOCounter) Reset() { *c = IOCounter{} }
+
+// Add accumulates another counter into c.
+func (c *IOCounter) Add(o IOCounter) {
+	c.HeapPagesRead += o.HeapPagesRead
+	c.HeapPagesWritten += o.HeapPagesWritten
+	c.IndexPagesRead += o.IndexPagesRead
+	c.IndexPagesWritten += o.IndexPagesWritten
+}
+
+// TotalPages returns all page IO combined.
+func (c *IOCounter) TotalPages() int64 {
+	return c.HeapPagesRead + c.HeapPagesWritten + c.IndexPagesRead + c.IndexPagesWritten
+}
+
+type page struct {
+	tuples []sqltypes.Tuple // nil entries are deleted slots
+	live   int
+}
+
+// Heap is the slotted-page tuple store for one table.
+type Heap struct {
+	pages    []*page
+	numLive  int64
+	io       *IOCounter
+	lastPage int // page with free space, for O(1) append
+}
+
+// NewHeap creates an empty heap charging IO to the given counter.
+func NewHeap(io *IOCounter) *Heap {
+	return &Heap{io: io}
+}
+
+// NumTuples returns the count of live tuples.
+func (h *Heap) NumTuples() int64 { return h.numLive }
+
+// NumPages returns the heap page count.
+func (h *Heap) NumPages() int64 { return int64(len(h.pages)) }
+
+// Insert appends a tuple and returns its RID. Charges one page write.
+func (h *Heap) Insert(t sqltypes.Tuple) btree.RID {
+	if h.lastPage >= len(h.pages) || len(h.pages[h.lastPage].tuples) >= TuplesPerPage {
+		h.pages = append(h.pages, &page{})
+		h.lastPage = len(h.pages) - 1
+	}
+	p := h.pages[h.lastPage]
+	p.tuples = append(p.tuples, t)
+	p.live++
+	h.numLive++
+	h.io.HeapPagesWritten++
+	return btree.RID{Page: int32(h.lastPage), Slot: int32(len(p.tuples) - 1)}
+}
+
+// Fetch returns the tuple at rid, charging one page read. Returns nil for
+// deleted or out-of-range slots.
+func (h *Heap) Fetch(rid btree.RID) sqltypes.Tuple {
+	h.io.HeapPagesRead++
+	if int(rid.Page) >= len(h.pages) {
+		return nil
+	}
+	p := h.pages[rid.Page]
+	if int(rid.Slot) >= len(p.tuples) {
+		return nil
+	}
+	return p.tuples[rid.Slot]
+}
+
+// Update replaces the tuple at rid in place (heap-only update; index
+// maintenance is the engine's responsibility). Charges a read and a write.
+func (h *Heap) Update(rid btree.RID, t sqltypes.Tuple) error {
+	h.io.HeapPagesRead++
+	h.io.HeapPagesWritten++
+	if int(rid.Page) >= len(h.pages) || int(rid.Slot) >= len(h.pages[rid.Page].tuples) {
+		return fmt.Errorf("storage: update of invalid rid %v", rid)
+	}
+	if h.pages[rid.Page].tuples[rid.Slot] == nil {
+		return fmt.Errorf("storage: update of deleted rid %v", rid)
+	}
+	h.pages[rid.Page].tuples[rid.Slot] = t
+	return nil
+}
+
+// Delete tombstones the tuple at rid. Charges a write.
+func (h *Heap) Delete(rid btree.RID) error {
+	h.io.HeapPagesWritten++
+	if int(rid.Page) >= len(h.pages) || int(rid.Slot) >= len(h.pages[rid.Page].tuples) {
+		return fmt.Errorf("storage: delete of invalid rid %v", rid)
+	}
+	p := h.pages[rid.Page]
+	if p.tuples[rid.Slot] == nil {
+		return fmt.Errorf("storage: delete of already-deleted rid %v", rid)
+	}
+	p.tuples[rid.Slot] = nil
+	p.live--
+	h.numLive--
+	return nil
+}
+
+// Scan visits every live tuple in heap order, charging one read per page.
+// The callback returns false to stop early.
+func (h *Heap) Scan(visit func(rid btree.RID, t sqltypes.Tuple) bool) {
+	for pi, p := range h.pages {
+		h.io.HeapPagesRead++
+		for si, t := range p.tuples {
+			if t == nil {
+				continue
+			}
+			if !visit(btree.RID{Page: int32(pi), Slot: int32(si)}, t) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package template
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkObserve measures the SQL2Template hot path: parse + fingerprint +
+// store lookup for an already-known template (the common case the paper's
+// Fig. 8 overhead numbers hinge on).
+func BenchmarkObserve(b *testing.B) {
+	s := NewStore(0)
+	if _, _, err := s.ObserveSQL("SELECT bal FROM acct WHERE id = 1"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.ObserveSQL(fmt.Sprintf("SELECT bal FROM acct WHERE id = %d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObserveChurn measures a store at capacity with constant misses
+// (worst case: every statement is a new template, forcing eviction).
+func BenchmarkObserveChurn(b *testing.B) {
+	s := NewStore(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sql := fmt.Sprintf("SELECT c%d FROM t%d WHERE x = 1", i%1000, i%1000)
+		if _, _, err := s.ObserveSQL(sql); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFingerprint isolates normalization without store bookkeeping.
+func BenchmarkFingerprint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, _, err := FingerprintSQL(
+			"UPDATE acct SET bal = bal - 25.50, cnt = cnt + 1 WHERE id = 42 AND region IN (1,2,3)"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+// Package banking synthesizes the paper's real-world banking scenario: a
+// 144-table schema serving two hybrid services — an OLAP-style
+// summarization service and an OLTP-style withdrawal-flow service — plus a
+// deliberately over-indexed "default" configuration modeled on the paper's
+// hand-crafted production setup (hundreds of secondary indexes, many of
+// them redundant prefixes, unused, or on hot write columns). The index
+// removal experiment (Fig. 1) and creation experiment (Tables II–III) run
+// against this substitute since the production trace is proprietary.
+package banking
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+)
+
+// Core table sizes.
+const (
+	numAccounts  = 8000
+	numCustomers = 3000
+	numBranches  = 60
+	numCards     = 6000
+	numTxns      = 25000
+	numAuxTables = 128 // auxiliary tables to reach the paper's 144
+	auxRows      = 40
+)
+
+// Loader builds the banking dataset.
+type Loader struct {
+	Seed int64
+	rng  *rand.Rand
+}
+
+// NewLoader creates a loader.
+func NewLoader(seed int64) *Loader {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Loader{Seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// coreSchema defines the 16 business tables.
+var coreSchema = []string{
+	`CREATE TABLE account (acct_id BIGINT, cust_id BIGINT, branch_id BIGINT, balance DOUBLE, currency TEXT, status TEXT, open_date BIGINT, risk_level BIGINT, PRIMARY KEY (acct_id))`,
+	`CREATE TABLE customer (cust_id BIGINT, name TEXT, segment TEXT, city TEXT, joined BIGINT, PRIMARY KEY (cust_id))`,
+	`CREATE TABLE branch (branch_id BIGINT, region TEXT, city TEXT, manager TEXT, PRIMARY KEY (branch_id))`,
+	`CREATE TABLE card (card_id BIGINT, acct_id BIGINT, kind TEXT, active BIGINT, daily_limit DOUBLE, PRIMARY KEY (card_id))`,
+	`CREATE TABLE txn_history (txn_id BIGINT, acct_id BIGINT, card_id BIGINT, amount DOUBLE, kind TEXT, txn_date BIGINT, branch_id BIGINT, channel TEXT, PRIMARY KEY (txn_id))`,
+	`CREATE TABLE withdraw_flow (wf_id BIGINT, acct_id BIGINT, amount DOUBLE, step TEXT, wf_date BIGINT, teller_id BIGINT, PRIMARY KEY (wf_id))`,
+	`CREATE TABLE daily_summary (ds_id BIGINT, branch_id BIGINT, ds_date BIGINT, total_in DOUBLE, total_out DOUBLE, txn_count BIGINT, PRIMARY KEY (ds_id))`,
+	`CREATE TABLE teller (teller_id BIGINT, branch_id BIGINT, shift TEXT, PRIMARY KEY (teller_id))`,
+	`CREATE TABLE fee_schedule (fee_id BIGINT, kind TEXT, rate DOUBLE, PRIMARY KEY (fee_id))`,
+	`CREATE TABLE exchange_rate (er_id BIGINT, currency TEXT, rate DOUBLE, er_date BIGINT, PRIMARY KEY (er_id))`,
+	`CREATE TABLE audit_log (al_id BIGINT, actor TEXT, action TEXT, al_date BIGINT, PRIMARY KEY (al_id))`,
+	`CREATE TABLE loan (loan_id BIGINT, acct_id BIGINT, principal DOUBLE, rate DOUBLE, term BIGINT, PRIMARY KEY (loan_id))`,
+	`CREATE TABLE collateral (col_id BIGINT, loan_id BIGINT, kind TEXT, value DOUBLE, PRIMARY KEY (col_id))`,
+	`CREATE TABLE alert (alert_id BIGINT, acct_id BIGINT, level BIGINT, msg TEXT, PRIMARY KEY (alert_id))`,
+	`CREATE TABLE device (dev_id BIGINT, cust_id BIGINT, kind TEXT, last_seen BIGINT, PRIMARY KEY (dev_id))`,
+	`CREATE TABLE session_log (sess_id BIGINT, cust_id BIGINT, dev_id BIGINT, started BIGINT, PRIMARY KEY (sess_id))`,
+}
+
+var currencies = []string{"USD", "EUR", "CNY", "JPY", "GBP"}
+var segments = []string{"retail", "private", "corporate", "sme"}
+var regions = []string{"north", "south", "east", "west", "central"}
+var txnKinds = []string{"deposit", "withdraw", "transfer", "fee", "interest"}
+
+// Load creates all 144 tables and populates them.
+func (l *Loader) Load(db *engine.DB) error {
+	for _, ddl := range coreSchema {
+		if _, err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= numAuxTables; i++ {
+		ddl := fmt.Sprintf(
+			`CREATE TABLE aux_%03d (id BIGINT, ref_id BIGINT, val DOUBLE, tag TEXT, PRIMARY KEY (id))`, i)
+		if _, err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+
+	iv := func(v int64) sqltypes.Value { return sqltypes.NewInt(v) }
+	fv := func(v float64) sqltypes.Value { return sqltypes.NewFloat(v) }
+	sv := func(v string) sqltypes.Value { return sqltypes.NewString(v) }
+	r := l.rng
+
+	load := func(table string, n int, mk func(i int64) sqltypes.Tuple) error {
+		rows := make([]sqltypes.Tuple, n)
+		for i := 0; i < n; i++ {
+			rows[i] = mk(int64(i + 1))
+		}
+		return db.BulkLoad(table, rows)
+	}
+
+	if err := load("branch", numBranches, func(i int64) sqltypes.Tuple {
+		return sqltypes.Tuple{iv(i), sv(regions[i%int64(len(regions))]),
+			sv(fmt.Sprintf("city%d", i%20)), sv(fmt.Sprintf("mgr%d", i))}
+	}); err != nil {
+		return err
+	}
+	if err := load("customer", numCustomers, func(i int64) sqltypes.Tuple {
+		return sqltypes.Tuple{iv(i), sv(fmt.Sprintf("cust%d", i)),
+			sv(segments[i%int64(len(segments))]), sv(fmt.Sprintf("city%d", i%50)),
+			iv(20000101 + i%3000)}
+	}); err != nil {
+		return err
+	}
+	if err := load("account", numAccounts, func(i int64) sqltypes.Tuple {
+		status := "active"
+		if i%17 == 0 {
+			status = "frozen"
+		}
+		return sqltypes.Tuple{iv(i), iv(i%numCustomers + 1), iv(i%numBranches + 1),
+			fv(float64(r.Intn(10000000)) / 100), sv(currencies[i%int64(len(currencies))]),
+			sv(status), iv(20150101 + i%2000), iv(i % 5)}
+	}); err != nil {
+		return err
+	}
+	if err := load("card", numCards, func(i int64) sqltypes.Tuple {
+		return sqltypes.Tuple{iv(i), iv(i%numAccounts + 1),
+			sv([]string{"debit", "credit"}[i%2]), iv(i % 2),
+			fv(float64(r.Intn(500000)) / 100)}
+	}); err != nil {
+		return err
+	}
+	if err := load("txn_history", numTxns, func(i int64) sqltypes.Tuple {
+		return sqltypes.Tuple{iv(i), iv(int64(r.Intn(numAccounts) + 1)),
+			iv(int64(r.Intn(numCards) + 1)), fv(float64(r.Intn(1000000)) / 100),
+			sv(txnKinds[i%int64(len(txnKinds))]), iv(20220101 + i%365),
+			iv(int64(r.Intn(numBranches) + 1)),
+			sv([]string{"atm", "branch", "mobile", "web"}[i%4])}
+	}); err != nil {
+		return err
+	}
+	if err := load("withdraw_flow", numTxns/2, func(i int64) sqltypes.Tuple {
+		return sqltypes.Tuple{iv(i), iv(int64(r.Intn(numAccounts) + 1)),
+			fv(float64(r.Intn(200000)) / 100),
+			sv([]string{"request", "verify", "dispense", "complete"}[i%4]),
+			iv(20220101 + i%365), iv(i%300 + 1)}
+	}); err != nil {
+		return err
+	}
+	if err := load("daily_summary", numBranches*365, func(i int64) sqltypes.Tuple {
+		return sqltypes.Tuple{iv(i), iv(i%numBranches + 1), iv(20220101 + i/numBranches),
+			fv(float64(r.Intn(100000000)) / 100), fv(float64(r.Intn(90000000)) / 100),
+			iv(int64(r.Intn(5000)))}
+	}); err != nil {
+		return err
+	}
+	if err := load("teller", 300, func(i int64) sqltypes.Tuple {
+		return sqltypes.Tuple{iv(i), iv(i%numBranches + 1), sv([]string{"am", "pm"}[i%2])}
+	}); err != nil {
+		return err
+	}
+	small := []struct {
+		table string
+		n     int
+		mk    func(i int64) sqltypes.Tuple
+	}{
+		{"fee_schedule", 20, func(i int64) sqltypes.Tuple {
+			return sqltypes.Tuple{iv(i), sv(txnKinds[i%int64(len(txnKinds))]), fv(0.01 * float64(i))}
+		}},
+		{"exchange_rate", 500, func(i int64) sqltypes.Tuple {
+			return sqltypes.Tuple{iv(i), sv(currencies[i%int64(len(currencies))]),
+				fv(0.8 + float64(i%40)/100), iv(20220101 + i%100)}
+		}},
+		{"audit_log", 2000, func(i int64) sqltypes.Tuple {
+			return sqltypes.Tuple{iv(i), sv(fmt.Sprintf("user%d", i%50)), sv("login"), iv(20220101 + i%365)}
+		}},
+		{"loan", 1200, func(i int64) sqltypes.Tuple {
+			return sqltypes.Tuple{iv(i), iv(i%numAccounts + 1), fv(float64(r.Intn(50000000)) / 100),
+				fv(0.03 + float64(i%10)/100), iv(12 + i%348)}
+		}},
+		{"collateral", 800, func(i int64) sqltypes.Tuple {
+			return sqltypes.Tuple{iv(i), iv(i%1200 + 1), sv("property"), fv(float64(r.Intn(100000000)) / 100)}
+		}},
+		{"alert", 600, func(i int64) sqltypes.Tuple {
+			return sqltypes.Tuple{iv(i), iv(i%numAccounts + 1), iv(i % 4), sv("check")}
+		}},
+		{"device", 2500, func(i int64) sqltypes.Tuple {
+			return sqltypes.Tuple{iv(i), iv(i%numCustomers + 1), sv([]string{"ios", "android", "web"}[i%3]), iv(20220101 + i%365)}
+		}},
+		{"session_log", 4000, func(i int64) sqltypes.Tuple {
+			return sqltypes.Tuple{iv(i), iv(i%numCustomers + 1), iv(i%2500 + 1), iv(20220101 + i%365)}
+		}},
+	}
+	for _, s := range small {
+		if err := load(s.table, s.n, s.mk); err != nil {
+			return err
+		}
+	}
+	for i := 1; i <= numAuxTables; i++ {
+		table := fmt.Sprintf("aux_%03d", i)
+		if err := load(table, auxRows, func(j int64) sqltypes.Tuple {
+			return sqltypes.Tuple{iv(j), iv(j % 10), fv(float64(j)), sv("t")}
+		}); err != nil {
+			return err
+		}
+	}
+	return db.AnalyzeAll()
+}
+
+// InstallDefaultIndexes creates the over-indexed hand-crafted configuration:
+// a few genuinely useful indexes buried among redundant prefix duplicates,
+// indexes on columns no service queries, and indexes on hot write columns.
+// Returns the number created (~the paper's 263 for the withdraw business).
+func (l *Loader) InstallDefaultIndexes(db *engine.DB) (int, error) {
+	var stmts []string
+	add := func(name, table, cols string) {
+		stmts = append(stmts, fmt.Sprintf("CREATE INDEX %s ON %s (%s)", name, table, cols))
+	}
+
+	// Useful ones a DBA would craft.
+	add("d_txn_acct", "txn_history", "acct_id")
+	add("d_txn_date", "txn_history", "txn_date")
+	add("d_wf_acct", "withdraw_flow", "acct_id")
+	add("d_acct_cust", "account", "cust_id")
+	add("d_card_acct", "card", "acct_id")
+	add("d_ds_branch_date", "daily_summary", "branch_id, ds_date")
+
+	// Redundant prefix duplicates and overlapping composites.
+	add("d_txn_acct_date", "txn_history", "acct_id, txn_date")
+	add("d_txn_acct_kind", "txn_history", "acct_id, kind")
+	add("d_txn_acct_card", "txn_history", "acct_id, card_id")
+	add("d_wf_acct_step", "withdraw_flow", "acct_id, step")
+	add("d_wf_acct_date", "withdraw_flow", "acct_id, wf_date")
+	add("d_acct_cust_branch", "account", "cust_id, branch_id")
+	add("d_ds_branch", "daily_summary", "branch_id")
+
+	// Indexes on hot write columns (balance updates on every withdrawal).
+	add("d_acct_balance", "account", "balance")
+	add("d_acct_balance_status", "account", "balance, status")
+
+	// Unused indexes on columns the services never filter by.
+	add("d_cust_joined", "customer", "joined")
+	add("d_branch_mgr", "branch", "manager")
+	add("d_card_limit", "card", "daily_limit")
+	add("d_txn_channel", "txn_history", "channel")
+	add("d_txn_branch", "txn_history", "branch_id")
+	add("d_al_actor", "audit_log", "actor")
+	add("d_loan_rate", "loan", "rate")
+	add("d_dev_seen", "device", "last_seen")
+	add("d_sess_started", "session_log", "started")
+	add("d_er_date", "exchange_rate", "er_date")
+
+	// Blanket per-aux-table indexes nobody uses (the bulk of the bloat).
+	for i := 1; i <= numAuxTables; i++ {
+		add(fmt.Sprintf("d_aux%03d_ref", i), fmt.Sprintf("aux_%03d", i), "ref_id")
+		if i%2 == 0 {
+			add(fmt.Sprintf("d_aux%03d_val", i), fmt.Sprintf("aux_%03d", i), "val")
+		}
+		if i%3 == 0 {
+			add(fmt.Sprintf("d_aux%03d_rv", i), fmt.Sprintf("aux_%03d", i), "ref_id, val")
+		}
+	}
+
+	for _, s := range stmts {
+		if _, err := db.Exec(s); err != nil {
+			return 0, err
+		}
+	}
+	return len(stmts), nil
+}
+
+// SummarizationService emits n OLAP-style statements (reports over
+// txn_history / daily_summary joined with branch).
+func (l *Loader) SummarizationService(n int) []string {
+	r := l.rng
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 5 {
+		case 0:
+			out = append(out, fmt.Sprintf(
+				`SELECT b.region, SUM(t.amount), COUNT(*) FROM txn_history t JOIN branch b ON t.branch_id = b.branch_id WHERE t.txn_date BETWEEN %d AND %d GROUP BY b.region`,
+				20220101+r.Intn(300), 20220131+r.Intn(300)))
+		case 1:
+			out = append(out, fmt.Sprintf(
+				`SELECT ds.branch_id, SUM(ds.total_in - ds.total_out) FROM daily_summary ds WHERE ds.ds_date = %d GROUP BY ds.branch_id ORDER BY ds.branch_id LIMIT 20`,
+				20220101+r.Intn(365)))
+		case 2:
+			out = append(out, fmt.Sprintf(
+				`SELECT t.kind, AVG(t.amount) FROM txn_history t WHERE t.acct_id = %d GROUP BY t.kind`,
+				r.Intn(numAccounts)+1))
+		case 3:
+			out = append(out, fmt.Sprintf(
+				`SELECT c.segment, COUNT(*) FROM account a JOIN customer c ON a.cust_id = c.cust_id WHERE a.status = 'frozen' AND a.risk_level >= %d GROUP BY c.segment`,
+				r.Intn(4)))
+		default:
+			out = append(out, fmt.Sprintf(
+				`SELECT t.txn_date, SUM(t.amount) FROM txn_history t WHERE t.kind = 'withdraw' AND t.txn_date > %d GROUP BY t.txn_date ORDER BY t.txn_date DESC LIMIT 30`,
+				20220300+r.Intn(60)))
+		}
+	}
+	return out
+}
+
+// WithdrawalService emits n OLTP-style statements (balance checks, flow
+// lookups, balance updates, flow inserts).
+func (l *Loader) WithdrawalService(n int) []string {
+	r := l.rng
+	out := make([]string, 0, n)
+	nextWF := int64(numTxns)
+	for i := 0; i < n; i++ {
+		acct := r.Intn(numAccounts) + 1
+		switch i % 6 {
+		case 0:
+			out = append(out, fmt.Sprintf(
+				`SELECT balance, status, currency FROM account WHERE acct_id = %d`, acct))
+		case 1:
+			out = append(out, fmt.Sprintf(
+				`SELECT wf_id, step, amount FROM withdraw_flow WHERE acct_id = %d ORDER BY wf_date DESC LIMIT 5`, acct))
+		case 2:
+			out = append(out, fmt.Sprintf(
+				`UPDATE account SET balance = balance - %d.50 WHERE acct_id = %d`, r.Intn(500)+1, acct))
+		case 3:
+			nextWF++
+			out = append(out, fmt.Sprintf(
+				`INSERT INTO withdraw_flow (wf_id, acct_id, amount, step, wf_date, teller_id) VALUES (%d, %d, %d.00, 'request', %d, %d)`,
+				nextWF*100+int64(i), acct, r.Intn(2000)+1, 20230101+r.Intn(30), r.Intn(300)+1))
+		case 4:
+			out = append(out, fmt.Sprintf(
+				`SELECT c.kind, c.daily_limit FROM card c WHERE c.acct_id = %d AND c.active = 1`, acct))
+		default:
+			out = append(out, fmt.Sprintf(
+				`SELECT t.amount, t.txn_date FROM txn_history t WHERE t.acct_id = %d AND t.kind = 'withdraw' ORDER BY t.txn_date DESC LIMIT 10`, acct))
+		}
+	}
+	return out
+}

@@ -1,0 +1,143 @@
+// Package epidemic reproduces the paper's Figure-2 running example: a table
+// of potentially-infected people whose workload shifts through three phases
+// with different index requirements — W1 (random reads on temperature and
+// community), W2 (insert-heavy spread phase where maintaining idx_community
+// costs more than it saves), and W3 (update-heavy monitoring phase that
+// wants a multi-column index on (name, community) while keeping
+// idx_temperature because its read benefit outweighs its update cost).
+package epidemic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+)
+
+// Schema defines the single person table.
+const Schema = `CREATE TABLE person (id BIGINT, name TEXT, community TEXT, temperature DOUBLE, phone BIGINT, recorded BIGINT, PRIMARY KEY (id))`
+
+// InitialRows is the W1-phase table size.
+const InitialRows = 3000
+
+// Loader builds the dataset and phase workloads.
+type Loader struct {
+	Seed   int64
+	rng    *rand.Rand
+	nextID int64
+}
+
+// NewLoader creates a loader.
+func NewLoader(seed int64) *Loader {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Loader{Seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// numCommunities keeps community lookups selective (~0.5% of rows each).
+const numCommunities = 200
+
+func communityName(i int) string { return fmt.Sprintf("comm%03d", i%numCommunities) }
+func personName(i int64) string  { return fmt.Sprintf("p%05d", i) }
+
+// randTemperature models the clinical distribution: most people are
+// normal (36.0–36.9); ~1.5% run a fever above 37.3, so fever range scans
+// are highly selective, as in the paper's example.
+func (l *Loader) randTemperature() float64 {
+	if l.rng.Intn(1000) < 15 {
+		return 37.3 + float64(l.rng.Intn(27))/10
+	}
+	return 36.0 + float64(l.rng.Intn(10))/10
+}
+
+// Load creates and populates the person table.
+func (l *Loader) Load(db *engine.DB) error {
+	if _, err := db.Exec(Schema); err != nil {
+		return err
+	}
+	rows := make([]sqltypes.Tuple, InitialRows)
+	for i := 0; i < InitialRows; i++ {
+		l.nextID++
+		rows[i] = sqltypes.Tuple{
+			sqltypes.NewInt(l.nextID),
+			sqltypes.NewString(personName(l.nextID)),
+			sqltypes.NewString(communityName(i)),
+			sqltypes.NewFloat(l.randTemperature()),
+			sqltypes.NewInt(13800000000 + l.nextID),
+			sqltypes.NewInt(20200101),
+		}
+	}
+	if err := db.BulkLoad("person", rows); err != nil {
+		return err
+	}
+	return db.AnalyzeAll()
+}
+
+// W1 emits the early-phase random read queries on temperature / community.
+func (l *Loader) W1(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			out = append(out, fmt.Sprintf(
+				"SELECT name, phone FROM person WHERE temperature > %0.1f",
+				37.2+float64(l.rng.Intn(8))/10))
+		} else {
+			out = append(out, fmt.Sprintf(
+				"SELECT name, temperature FROM person WHERE community = '%s'",
+				communityName(l.rng.Intn(numCommunities))))
+		}
+	}
+	return out
+}
+
+// W2 emits the spread-phase workload: mostly inserts of new people, a few
+// temperature reads, and rare community lookups — rare enough that the
+// community index's maintenance cost exceeds its read benefit (the paper's
+// Fig. 2 reason to drop idx_community while keeping idx_temperature).
+func (l *Loader) W2(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if i%10 == 9 {
+			out = append(out, fmt.Sprintf(
+				"SELECT COUNT(*) FROM person WHERE temperature >= %0.1f", 37.3))
+			continue
+		}
+		if i%40 == 0 {
+			out = append(out, fmt.Sprintf(
+				"SELECT name FROM person WHERE community = '%s'",
+				communityName(l.rng.Intn(numCommunities))))
+			continue
+		}
+		l.nextID++
+		out = append(out, fmt.Sprintf(
+			"INSERT INTO person (id, name, community, temperature, phone, recorded) VALUES (%d, '%s', '%s', %0.1f, %d, %d)",
+			l.nextID, personName(l.nextID), communityName(l.rng.Intn(numCommunities)),
+			l.randTemperature(), 13900000000+l.nextID, 20200301))
+	}
+	return out
+}
+
+// W3 emits the controlled-phase workload: temperature refreshes keyed by
+// (name, community), plus temperature range reads.
+func (l *Loader) W3(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0, 1:
+			id := l.rng.Int63n(l.nextID) + 1
+			out = append(out, fmt.Sprintf(
+				"UPDATE person SET temperature = %0.1f WHERE name = '%s' AND community = '%s'",
+				36.0+float64(l.rng.Intn(30))/10, personName(id), communityName(int(id))))
+		case 2:
+			out = append(out, fmt.Sprintf(
+				"SELECT name FROM person WHERE temperature > %0.1f", 37.3))
+		default:
+			out = append(out, fmt.Sprintf(
+				"SELECT name, phone FROM person WHERE name = '%s' AND community = '%s'",
+				personName(l.rng.Int63n(l.nextID)+1), communityName(l.rng.Intn(numCommunities))))
+		}
+	}
+	return out
+}

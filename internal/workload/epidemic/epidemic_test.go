@@ -1,0 +1,90 @@
+package epidemic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+)
+
+func TestLoadAndPhasesExecute(t *testing.T) {
+	db := engine.New()
+	l := NewLoader(3)
+	if err := l.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	if db.Catalog().Table("person").NumRows != InitialRows {
+		t.Fatalf("rows: %d", db.Catalog().Table("person").NumRows)
+	}
+	for name, stmts := range map[string][]string{
+		"W1": l.W1(100), "W2": l.W2(200), "W3": l.W3(100),
+	} {
+		stats := harness.Run(db, stmts)
+		if stats.Errors != 0 {
+			t.Fatalf("%s: %d errors", name, stats.Errors)
+		}
+	}
+}
+
+func TestW1IsReadOnly(t *testing.T) {
+	l := NewLoader(1)
+	for _, sql := range l.W1(100) {
+		if !strings.HasPrefix(sql, "SELECT") {
+			t.Fatalf("W1 must be read-only: %s", sql)
+		}
+	}
+}
+
+func TestW2IsInsertHeavy(t *testing.T) {
+	l := NewLoader(1)
+	inserts, reads := 0, 0
+	for _, sql := range l.W2(400) {
+		if strings.HasPrefix(sql, "INSERT") {
+			inserts++
+		} else {
+			reads++
+		}
+	}
+	if inserts < reads*5 {
+		t.Fatalf("W2 should be insert-dominated: %d inserts, %d reads", inserts, reads)
+	}
+	if reads == 0 {
+		t.Fatal("W2 needs some reads (the paper keeps idx_temperature for them)")
+	}
+}
+
+func TestW3IsUpdateHeavy(t *testing.T) {
+	l := NewLoader(1)
+	// W3 references ids up to nextID; load first to populate the counter.
+	db := engine.New()
+	if err := l.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	updates := 0
+	for _, sql := range l.W3(200) {
+		if strings.HasPrefix(sql, "UPDATE") {
+			updates++
+		}
+	}
+	if updates < 80 {
+		t.Fatalf("W3 should be update-heavy: %d of 200", updates)
+	}
+}
+
+func TestFeverSelectivityIsLow(t *testing.T) {
+	db := engine.New()
+	l := NewLoader(9)
+	if err := l.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("SELECT COUNT(*) FROM person WHERE temperature > 37.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fever := res.Rows[0][0].Int
+	// ~1.5% of 3000 — the distribution that makes fever scans index-worthy.
+	if fever < 10 || fever > 120 {
+		t.Errorf("fever count out of expected band: %d", fever)
+	}
+}

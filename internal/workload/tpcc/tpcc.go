@@ -1,0 +1,317 @@
+// Package tpcc is a TPC-C-style OLTP scenario generator: the standard nine
+// warehouse-centric tables and the five-transaction mix (NewOrder, Payment,
+// OrderStatus, Delivery, StockLevel), emitted as plain SQL against the
+// in-process engine. Row counts are scaled down from the official kit so a
+// full experiment runs in seconds, but the schema, access patterns, and
+// read/write mix match, which is what the index-selection experiments need.
+package tpcc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+)
+
+// Scale configures dataset size. Scale 1 ≈ 5k rows; the paper's TPC-C1x,
+// TPC-C10x and TPC-C100x map to Scale 1, 10, 100.
+type Scale int
+
+// Rows per scale unit.
+const (
+	districtsPerWarehouse = 10
+	customersPerDistrict  = 30
+	itemsBase             = 1000
+	ordersPerDistrict     = 30
+	linesPerOrder         = 5
+)
+
+// Schema holds the CREATE TABLE statements in creation order.
+var Schema = []string{
+	`CREATE TABLE warehouse (w_id BIGINT, w_name TEXT, w_tax DOUBLE, w_ytd DOUBLE, PRIMARY KEY (w_id))`,
+	`CREATE TABLE district (d_id BIGINT, d_w_id BIGINT, d_name TEXT, d_tax DOUBLE, d_ytd DOUBLE, d_next_o_id BIGINT, PRIMARY KEY (d_id))`,
+	`CREATE TABLE customer (c_id BIGINT, c_d_id BIGINT, c_w_id BIGINT, c_last TEXT, c_credit TEXT, c_balance DOUBLE, c_ytd_payment DOUBLE, c_payment_cnt BIGINT, PRIMARY KEY (c_id))`,
+	`CREATE TABLE history (h_id BIGINT, h_c_id BIGINT, h_d_id BIGINT, h_w_id BIGINT, h_amount DOUBLE, PRIMARY KEY (h_id))`,
+	`CREATE TABLE neworder (no_o_id BIGINT, no_d_id BIGINT, no_w_id BIGINT, PRIMARY KEY (no_o_id))`,
+	`CREATE TABLE orders (o_id BIGINT, o_c_id BIGINT, o_d_id BIGINT, o_w_id BIGINT, o_entry_d BIGINT, o_carrier_id BIGINT, o_ol_cnt BIGINT, PRIMARY KEY (o_id))`,
+	`CREATE TABLE orderline (ol_id BIGINT, ol_o_id BIGINT, ol_d_id BIGINT, ol_w_id BIGINT, ol_i_id BIGINT, ol_quantity BIGINT, ol_amount DOUBLE, PRIMARY KEY (ol_id))`,
+	`CREATE TABLE item (i_id BIGINT, i_name TEXT, i_price DOUBLE, i_data TEXT, PRIMARY KEY (i_id))`,
+	`CREATE TABLE stock (s_id BIGINT, s_i_id BIGINT, s_w_id BIGINT, s_quantity BIGINT, s_quality BIGINT, s_ytd BIGINT, s_order_cnt BIGINT, PRIMARY KEY (s_id))`,
+}
+
+// Loader builds and populates the dataset.
+type Loader struct {
+	Scale Scale
+	Seed  int64
+	// counters for ID generation during transaction emission
+	nextHistory  int64
+	nextOrder    int64
+	nextLine     int64
+	nextNewOrder int64
+	warehouses   int
+	items        int
+	rng          *rand.Rand
+}
+
+// NewLoader creates a loader at the given scale.
+func NewLoader(scale Scale, seed int64) *Loader {
+	if scale < 1 {
+		scale = 1
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &Loader{Scale: scale, Seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Load creates the schema and bulk-loads all tables into db.
+func (l *Loader) Load(db *engine.DB) error {
+	for _, ddl := range Schema {
+		if _, err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	l.warehouses = int(l.Scale)
+	l.items = itemsBase
+
+	iv := func(v int64) sqltypes.Value { return sqltypes.NewInt(v) }
+	fv := func(v float64) sqltypes.Value { return sqltypes.NewFloat(v) }
+	sv := func(v string) sqltypes.Value { return sqltypes.NewString(v) }
+
+	var wrows, drows, crows, orows, olrows, srows []sqltypes.Tuple
+	var oid, olid, sid int64
+	for w := 1; w <= l.warehouses; w++ {
+		wrows = append(wrows, sqltypes.Tuple{iv(int64(w)), sv(fmt.Sprintf("wh%d", w)), fv(0.05), fv(0)})
+		for d := 1; d <= districtsPerWarehouse; d++ {
+			dID := int64(w*100 + d)
+			drows = append(drows, sqltypes.Tuple{iv(dID), iv(int64(w)),
+				sv(fmt.Sprintf("dist%d", dID)), fv(0.07), fv(0), iv(int64(ordersPerDistrict + 1))})
+			for c := 1; c <= customersPerDistrict; c++ {
+				cID := dID*1000 + int64(c)
+				crows = append(crows, sqltypes.Tuple{
+					iv(cID), iv(dID), iv(int64(w)),
+					sv(lastName(l.rng.Intn(1000))), sv(credit(l.rng)),
+					fv(-10), fv(10), iv(1),
+				})
+			}
+			for o := 1; o <= ordersPerDistrict; o++ {
+				oid++
+				cID := dID*1000 + int64(l.rng.Intn(customersPerDistrict)+1)
+				orows = append(orows, sqltypes.Tuple{
+					iv(oid), iv(cID), iv(dID), iv(int64(w)),
+					iv(int64(20200101 + o)), iv(int64(l.rng.Intn(10))), iv(linesPerOrder),
+				})
+				for ol := 0; ol < linesPerOrder; ol++ {
+					olid++
+					olrows = append(olrows, sqltypes.Tuple{
+						iv(olid), iv(oid), iv(dID), iv(int64(w)),
+						iv(int64(l.rng.Intn(l.items) + 1)), iv(int64(l.rng.Intn(10) + 1)),
+						fv(float64(l.rng.Intn(9999)) / 100),
+					})
+				}
+			}
+		}
+		for i := 1; i <= l.items; i++ {
+			sid++
+			srows = append(srows, sqltypes.Tuple{
+				iv(sid), iv(int64(i)), iv(int64(w)),
+				iv(int64(l.rng.Intn(91) + 10)), iv(int64(l.rng.Intn(50))),
+				iv(0), iv(0),
+			})
+		}
+	}
+	var irows []sqltypes.Tuple
+	for i := 1; i <= l.items; i++ {
+		irows = append(irows, sqltypes.Tuple{
+			iv(int64(i)), sv(fmt.Sprintf("item%d", i)),
+			fv(float64(l.rng.Intn(9900)+100) / 100), sv("data"),
+		})
+	}
+	l.nextOrder = oid
+	l.nextLine = olid
+	l.nextHistory = 0
+	l.nextNewOrder = 0
+
+	loads := []struct {
+		table string
+		rows  []sqltypes.Tuple
+	}{
+		{"warehouse", wrows}, {"district", drows}, {"customer", crows},
+		{"orders", orows}, {"orderline", olrows}, {"item", irows}, {"stock", srows},
+	}
+	for _, ld := range loads {
+		if err := db.BulkLoad(ld.table, ld.rows); err != nil {
+			return err
+		}
+	}
+	return db.AnalyzeAll()
+}
+
+// Mix weights the five transactions; values are relative frequencies.
+type Mix struct {
+	NewOrder, Payment, OrderStatus, Delivery, StockLevel int
+}
+
+// StandardMix approximates the official TPC-C mix.
+func StandardMix() Mix {
+	return Mix{NewOrder: 45, Payment: 43, OrderStatus: 4, Delivery: 4, StockLevel: 4}
+}
+
+// ReadHeavyMix skews toward lookups (dynamic-workload experiments).
+func ReadHeavyMix() Mix {
+	return Mix{NewOrder: 10, Payment: 10, OrderStatus: 40, Delivery: 5, StockLevel: 35}
+}
+
+// WriteHeavyMix skews toward writes.
+func WriteHeavyMix() Mix {
+	return Mix{NewOrder: 55, Payment: 40, OrderStatus: 2, Delivery: 2, StockLevel: 1}
+}
+
+// Transactions emits n transactions of SQL statements under the mix.
+// The same Loader must have loaded the database (IDs line up).
+func (l *Loader) Transactions(n int, mix Mix) [][]string {
+	total := mix.NewOrder + mix.Payment + mix.OrderStatus + mix.Delivery + mix.StockLevel
+	if total == 0 {
+		return nil
+	}
+	out := make([][]string, 0, n)
+	for i := 0; i < n; i++ {
+		r := l.rng.Intn(total)
+		switch {
+		case r < mix.NewOrder:
+			out = append(out, l.newOrder())
+		case r < mix.NewOrder+mix.Payment:
+			out = append(out, l.payment())
+		case r < mix.NewOrder+mix.Payment+mix.OrderStatus:
+			out = append(out, l.orderStatus())
+		case r < mix.NewOrder+mix.Payment+mix.OrderStatus+mix.Delivery:
+			out = append(out, l.delivery())
+		default:
+			out = append(out, l.stockLevel())
+		}
+	}
+	return out
+}
+
+func (l *Loader) randWarehouse() int64 { return int64(l.rng.Intn(l.warehouses) + 1) }
+func (l *Loader) randDistrict(w int64) int64 {
+	return w*100 + int64(l.rng.Intn(districtsPerWarehouse)+1)
+}
+func (l *Loader) randCustomer(d int64) int64 {
+	return d*1000 + int64(l.rng.Intn(customersPerDistrict)+1)
+}
+func (l *Loader) randItem() int64 { return int64(l.rng.Intn(l.items) + 1) }
+
+// newOrder: reads customer/district/item/stock, inserts order + lines +
+// neworder, updates stock.
+func (l *Loader) newOrder() []string {
+	w := l.randWarehouse()
+	d := l.randDistrict(w)
+	c := l.randCustomer(d)
+	var stmts []string
+	stmts = append(stmts,
+		fmt.Sprintf("SELECT c_last, c_credit, c_balance FROM customer WHERE c_id = %d", c),
+		fmt.Sprintf("SELECT d_tax, d_next_o_id FROM district WHERE d_id = %d", d),
+		fmt.Sprintf("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_id = %d", d),
+	)
+	l.nextOrder++
+	o := l.nextOrder
+	stmts = append(stmts, fmt.Sprintf(
+		"INSERT INTO orders (o_id, o_c_id, o_d_id, o_w_id, o_entry_d, o_carrier_id, o_ol_cnt) VALUES (%d, %d, %d, %d, %d, 0, %d)",
+		o, c, d, w, 20220101, linesPerOrder))
+	l.nextNewOrder++
+	stmts = append(stmts, fmt.Sprintf(
+		"INSERT INTO neworder (no_o_id, no_d_id, no_w_id) VALUES (%d, %d, %d)", o, d, w))
+	for li := 0; li < linesPerOrder; li++ {
+		item := l.randItem()
+		l.nextLine++
+		stmts = append(stmts,
+			fmt.Sprintf("SELECT i_price, i_name FROM item WHERE i_id = %d", item),
+			fmt.Sprintf("SELECT s_quantity, s_quality FROM stock WHERE s_i_id = %d AND s_w_id = %d", item, w),
+			fmt.Sprintf("UPDATE stock SET s_quantity = s_quantity - 1, s_ytd = s_ytd + 1, s_order_cnt = s_order_cnt + 1 WHERE s_i_id = %d AND s_w_id = %d", item, w),
+			fmt.Sprintf("INSERT INTO orderline (ol_id, ol_o_id, ol_d_id, ol_w_id, ol_i_id, ol_quantity, ol_amount) VALUES (%d, %d, %d, %d, %d, 1, %d.50)",
+				l.nextLine, o, d, w, item, l.rng.Intn(99)+1),
+		)
+	}
+	return stmts
+}
+
+// payment: updates warehouse/district/customer balances, inserts history.
+func (l *Loader) payment() []string {
+	w := l.randWarehouse()
+	d := l.randDistrict(w)
+	c := l.randCustomer(d)
+	amount := float64(l.rng.Intn(499900)+100) / 100
+	l.nextHistory++
+	return []string{
+		fmt.Sprintf("UPDATE warehouse SET w_ytd = w_ytd + %.2f WHERE w_id = %d", amount, w),
+		fmt.Sprintf("UPDATE district SET d_ytd = d_ytd + %.2f WHERE d_id = %d", amount, d),
+		fmt.Sprintf("SELECT c_balance, c_credit FROM customer WHERE c_id = %d", c),
+		fmt.Sprintf("UPDATE customer SET c_balance = c_balance - %.2f, c_ytd_payment = c_ytd_payment + %.2f, c_payment_cnt = c_payment_cnt + 1 WHERE c_id = %d",
+			amount, amount, c),
+		fmt.Sprintf("INSERT INTO history (h_id, h_c_id, h_d_id, h_w_id, h_amount) VALUES (%d, %d, %d, %d, %.2f)",
+			l.nextHistory, c, d, w, amount),
+	}
+}
+
+// orderStatus: customer lookup by last name + latest order + lines.
+func (l *Loader) orderStatus() []string {
+	w := l.randWarehouse()
+	d := l.randDistrict(w)
+	c := l.randCustomer(d)
+	return []string{
+		fmt.Sprintf("SELECT c_id, c_balance FROM customer WHERE c_last = '%s' AND c_d_id = %d ORDER BY c_id",
+			lastName(l.rng.Intn(1000)), d),
+		fmt.Sprintf("SELECT o_id, o_carrier_id, o_entry_d FROM orders WHERE o_c_id = %d AND o_w_id = %d AND o_d_id = %d ORDER BY o_id DESC LIMIT 1",
+			c, w, d),
+		fmt.Sprintf("SELECT ol_i_id, ol_quantity, ol_amount FROM orderline WHERE ol_o_id = %d", l.orderFor(c)),
+	}
+}
+
+func (l *Loader) orderFor(c int64) int64 {
+	if l.nextOrder == 0 {
+		return 1
+	}
+	return (c % l.nextOrder) + 1
+}
+
+// delivery: oldest neworder per district → update order, delete neworder.
+func (l *Loader) delivery() []string {
+	w := l.randWarehouse()
+	d := l.randDistrict(w)
+	return []string{
+		fmt.Sprintf("SELECT no_o_id FROM neworder WHERE no_d_id = %d AND no_w_id = %d ORDER BY no_o_id LIMIT 1", d, w),
+		fmt.Sprintf("DELETE FROM neworder WHERE no_d_id = %d AND no_o_id < %d", d, l.nextNewOrder/2+1),
+		fmt.Sprintf("UPDATE orders SET o_carrier_id = %d WHERE o_d_id = %d AND o_id = %d",
+			l.rng.Intn(10)+1, d, l.orderFor(d)),
+	}
+}
+
+// stockLevel: recent order lines joined with low-stock items.
+func (l *Loader) stockLevel() []string {
+	w := l.randWarehouse()
+	d := l.randDistrict(w)
+	threshold := l.rng.Intn(10) + 10
+	return []string{
+		fmt.Sprintf("SELECT d_next_o_id FROM district WHERE d_id = %d", d),
+		fmt.Sprintf("SELECT COUNT(*) FROM orderline ol JOIN stock s ON ol.ol_i_id = s.s_i_id WHERE ol.ol_d_id = %d AND s.s_w_id = %d AND s.s_quantity < %d",
+			d, w, threshold),
+		fmt.Sprintf("SELECT s_i_id FROM stock WHERE s_w_id = %d AND s_quality > %d AND s_quantity < %d",
+			w, l.rng.Intn(30), threshold),
+	}
+}
+
+var lastParts = []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+
+// lastName builds the TPC-C style syllable last name for n in [0,1000).
+func lastName(n int) string {
+	return lastParts[n/100] + lastParts[(n/10)%10] + lastParts[n%10]
+}
+
+func credit(rng *rand.Rand) string {
+	if rng.Intn(10) == 0 {
+		return "BC"
+	}
+	return "GC"
+}

@@ -1,0 +1,100 @@
+package tpcc
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func TestLoadScale1(t *testing.T) {
+	db := engine.New()
+	l := NewLoader(1, 1)
+	if err := l.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	cat := db.Catalog()
+	if got := len(cat.Tables()); got != 9 {
+		t.Fatalf("want 9 tables, got %d", got)
+	}
+	checks := map[string]int64{
+		"warehouse": 1,
+		"district":  10,
+		"customer":  300,
+		"orders":    300,
+		"orderline": 1500,
+		"item":      1000,
+		"stock":     1000,
+	}
+	for table, want := range checks {
+		if got := cat.Table(table).NumRows; got != want {
+			t.Errorf("%s rows: want %d, got %d", table, want, got)
+		}
+	}
+}
+
+func TestTransactionsExecutable(t *testing.T) {
+	db := engine.New()
+	l := NewLoader(1, 7)
+	if err := l.Load(db); err != nil {
+		t.Fatal(err)
+	}
+	txns := l.Transactions(60, StandardMix())
+	if len(txns) != 60 {
+		t.Fatalf("want 60 transactions, got %d", len(txns))
+	}
+	var stmts int
+	for _, txn := range txns {
+		for _, sql := range txn {
+			if _, err := db.Exec(sql); err != nil {
+				t.Fatalf("Exec(%q): %v", sql, err)
+			}
+			stmts++
+		}
+	}
+	if stmts < 100 {
+		t.Errorf("too few statements: %d", stmts)
+	}
+}
+
+func TestMixesDiffer(t *testing.T) {
+	countWrites := func(mix Mix) int {
+		l := NewLoader(1, 5)
+		db := engine.New()
+		if err := l.Load(db); err != nil {
+			t.Fatal(err)
+		}
+		writes := 0
+		for _, txn := range l.Transactions(100, mix) {
+			for _, sql := range txn {
+				if sql[0] == 'I' || sql[0] == 'U' || sql[0] == 'D' {
+					writes++
+				}
+			}
+		}
+		return writes
+	}
+	if countWrites(WriteHeavyMix()) <= countWrites(ReadHeavyMix()) {
+		t.Error("write-heavy mix should issue more writes")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	gen := func() string {
+		l := NewLoader(1, 42)
+		db := engine.New()
+		if err := l.Load(db); err != nil {
+			t.Fatal(err)
+		}
+		txns := l.Transactions(5, StandardMix())
+		out := ""
+		for _, txn := range txns {
+			for _, s := range txn {
+				out += s + "\n"
+			}
+		}
+		return out
+	}
+	if gen() != gen() {
+		t.Error("same seed must generate identical workloads")
+	}
+}

@@ -1,0 +1,369 @@
+// Package tpcds is a TPC-DS-style OLAP scenario generator: a retail star
+// schema of 25 tables (three fact tables plus dimensions and auxiliary
+// tables) and a deterministic set of analytical queries — multi-join,
+// filtered, grouped, ordered — including correlated-index cases modeled on
+// the paper's Q32 motivation where two indexes only pay off together.
+// Data volumes are scaled down from the official kit; query shapes are what
+// matter for index selection.
+package tpcds
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/engine"
+	"repro/internal/sqltypes"
+)
+
+// Schema lists the 25 tables.
+var Schema = []string{
+	// fact tables
+	`CREATE TABLE store_sales (ss_id BIGINT, ss_item_id BIGINT, ss_customer_id BIGINT, ss_store_id BIGINT, ss_date_id BIGINT, ss_promo_id BIGINT, ss_quantity BIGINT, ss_price DOUBLE, ss_discount DOUBLE, PRIMARY KEY (ss_id))`,
+	`CREATE TABLE catalog_sales (cs_id BIGINT, cs_item_id BIGINT, cs_customer_id BIGINT, cs_call_center_id BIGINT, cs_date_id BIGINT, cs_quantity BIGINT, cs_price DOUBLE, PRIMARY KEY (cs_id))`,
+	`CREATE TABLE web_sales (ws_id BIGINT, ws_item_id BIGINT, ws_customer_id BIGINT, ws_site_id BIGINT, ws_date_id BIGINT, ws_quantity BIGINT, ws_price DOUBLE, PRIMARY KEY (ws_id))`,
+	// dimensions
+	`CREATE TABLE item (i_id BIGINT, i_brand_id BIGINT, i_class_id BIGINT, i_category TEXT, i_manufact_id BIGINT, i_price DOUBLE, PRIMARY KEY (i_id))`,
+	`CREATE TABLE customer (c_id BIGINT, c_address_id BIGINT, c_demo_id BIGINT, c_birth_year BIGINT, c_country TEXT, PRIMARY KEY (c_id))`,
+	`CREATE TABLE customer_address (ca_id BIGINT, ca_state TEXT, ca_city TEXT, ca_zip BIGINT, PRIMARY KEY (ca_id))`,
+	`CREATE TABLE customer_demographics (cd_id BIGINT, cd_gender TEXT, cd_education TEXT, cd_credit TEXT, PRIMARY KEY (cd_id))`,
+	`CREATE TABLE date_dim (d_id BIGINT, d_year BIGINT, d_month BIGINT, d_day BIGINT, d_quarter BIGINT, d_dow BIGINT, PRIMARY KEY (d_id))`,
+	`CREATE TABLE store (s_id BIGINT, s_state TEXT, s_city TEXT, s_manager TEXT, s_floor_space BIGINT, PRIMARY KEY (s_id))`,
+	`CREATE TABLE promotion (p_id BIGINT, p_channel TEXT, p_cost DOUBLE, p_response_target BIGINT, PRIMARY KEY (p_id))`,
+	`CREATE TABLE call_center (cc_id BIGINT, cc_state TEXT, cc_employees BIGINT, PRIMARY KEY (cc_id))`,
+	`CREATE TABLE web_site (wsite_id BIGINT, wsite_class TEXT, wsite_tax DOUBLE, PRIMARY KEY (wsite_id))`,
+	`CREATE TABLE warehouse (w_id BIGINT, w_state TEXT, w_sqft BIGINT, PRIMARY KEY (w_id))`,
+	`CREATE TABLE ship_mode (sm_id BIGINT, sm_type TEXT, sm_carrier TEXT, PRIMARY KEY (sm_id))`,
+	`CREATE TABLE reason (r_id BIGINT, r_desc TEXT, PRIMARY KEY (r_id))`,
+	`CREATE TABLE income_band (ib_id BIGINT, ib_lower BIGINT, ib_upper BIGINT, PRIMARY KEY (ib_id))`,
+	`CREATE TABLE household_demographics (hd_id BIGINT, hd_income_band_id BIGINT, hd_dep_count BIGINT, PRIMARY KEY (hd_id))`,
+	`CREATE TABLE time_dim (t_id BIGINT, t_hour BIGINT, t_minute BIGINT, t_shift TEXT, PRIMARY KEY (t_id))`,
+	`CREATE TABLE inventory (inv_id BIGINT, inv_item_id BIGINT, inv_warehouse_id BIGINT, inv_date_id BIGINT, inv_quantity BIGINT, PRIMARY KEY (inv_id))`,
+	`CREATE TABLE store_returns (sr_id BIGINT, sr_item_id BIGINT, sr_customer_id BIGINT, sr_reason_id BIGINT, sr_amount DOUBLE, PRIMARY KEY (sr_id))`,
+	`CREATE TABLE catalog_returns (cr_id BIGINT, cr_item_id BIGINT, cr_reason_id BIGINT, cr_amount DOUBLE, PRIMARY KEY (cr_id))`,
+	`CREATE TABLE web_returns (wr_id BIGINT, wr_item_id BIGINT, wr_reason_id BIGINT, wr_amount DOUBLE, PRIMARY KEY (wr_id))`,
+	`CREATE TABLE catalog_page (cp_id BIGINT, cp_department TEXT, cp_type TEXT, PRIMARY KEY (cp_id))`,
+	`CREATE TABLE web_page (wp_id BIGINT, wp_type TEXT, wp_link_count BIGINT, PRIMARY KEY (wp_id))`,
+	`CREATE TABLE dbgen_version (dv_id BIGINT, dv_version TEXT, PRIMARY KEY (dv_id))`,
+}
+
+// Sizes at scale 1.
+const (
+	numItems     = 2000
+	numCustomers = 3000
+	numAddresses = 1500
+	numDemo      = 500
+	numDates     = 730
+	numStores    = 20
+	numPromos    = 100
+	numSales     = 30000
+	numCatalog   = 8000
+	numWeb       = 6000
+	numInventory = 4000
+	numReturns   = 1500
+)
+
+// Loader builds and populates the dataset.
+type Loader struct {
+	Seed int64
+	rng  *rand.Rand
+}
+
+// NewLoader creates a loader.
+func NewLoader(seed int64) *Loader {
+	if seed == 0 {
+		seed = 1
+	}
+	return &Loader{Seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+var states = []string{"CA", "TX", "NY", "WA", "IL", "GA", "OH", "MI", "FL", "PA"}
+var categories = []string{"Books", "Electronics", "Home", "Sports", "Music", "Shoes", "Jewelry", "Toys"}
+var channels = []string{"mail", "web", "tv", "radio", "event"}
+
+// Load creates the schema and bulk-loads all tables into db.
+func (l *Loader) Load(db *engine.DB) error {
+	for _, ddl := range Schema {
+		if _, err := db.Exec(ddl); err != nil {
+			return err
+		}
+	}
+	iv := func(v int64) sqltypes.Value { return sqltypes.NewInt(v) }
+	fv := func(v float64) sqltypes.Value { return sqltypes.NewFloat(v) }
+	sv := func(v string) sqltypes.Value { return sqltypes.NewString(v) }
+	r := l.rng
+
+	load := func(table string, n int, mk func(i int64) sqltypes.Tuple) error {
+		rows := make([]sqltypes.Tuple, n)
+		for i := 0; i < n; i++ {
+			rows[i] = mk(int64(i + 1))
+		}
+		return db.BulkLoad(table, rows)
+	}
+
+	loads := []func() error{
+		func() error {
+			return load("item", numItems, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(i%200 + 1), iv(i%50 + 1),
+					sv(categories[i%int64(len(categories))]), iv(i%120 + 1),
+					fv(float64(r.Intn(19900)+100) / 100)}
+			})
+		},
+		func() error {
+			return load("customer", numCustomers, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(i%numAddresses + 1), iv(i%numDemo + 1),
+					iv(int64(1940 + r.Intn(65))), sv("US")}
+			})
+		},
+		func() error {
+			return load("customer_address", numAddresses, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv(states[i%int64(len(states))]),
+					sv(fmt.Sprintf("city%d", i%100)), iv(10000 + i%900)}
+			})
+		},
+		func() error {
+			return load("customer_demographics", numDemo, func(i int64) sqltypes.Tuple {
+				g := "M"
+				if i%2 == 0 {
+					g = "F"
+				}
+				return sqltypes.Tuple{iv(i), sv(g), sv([]string{"college", "primary", "secondary", "advanced"}[i%4]),
+					sv([]string{"low", "good", "high"}[i%3])}
+			})
+		},
+		func() error {
+			return load("date_dim", numDates, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(2020 + (i-1)/365), iv((i/30)%12 + 1),
+					iv(i%28 + 1), iv((i/91)%4 + 1), iv(i % 7)}
+			})
+		},
+		func() error {
+			return load("store", numStores, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv(states[i%int64(len(states))]),
+					sv(fmt.Sprintf("city%d", i%10)), sv(fmt.Sprintf("mgr%d", i)),
+					iv(int64(r.Intn(90000) + 10000))}
+			})
+		},
+		func() error {
+			return load("promotion", numPromos, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv(channels[i%int64(len(channels))]),
+					fv(float64(r.Intn(100000)) / 100), iv(i % 5)}
+			})
+		},
+		func() error {
+			return load("call_center", 10, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv(states[i%int64(len(states))]), iv(int64(r.Intn(500) + 50))}
+			})
+		},
+		func() error {
+			return load("web_site", 10, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv([]string{"small", "mid", "large"}[i%3]), fv(0.08)}
+			})
+		},
+		func() error {
+			return load("warehouse", 8, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv(states[i%int64(len(states))]), iv(int64(r.Intn(500000) + 50000))}
+			})
+		},
+		func() error {
+			return load("ship_mode", 6, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv([]string{"air", "ground", "sea"}[i%3]), sv(fmt.Sprintf("carrier%d", i))}
+			})
+		},
+		func() error {
+			return load("reason", 12, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv(fmt.Sprintf("reason%d", i))}
+			})
+		},
+		func() error {
+			return load("income_band", 20, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(i * 10000), iv((i + 1) * 10000)}
+			})
+		},
+		func() error {
+			return load("household_demographics", 100, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(i%20 + 1), iv(i % 6)}
+			})
+		},
+		func() error {
+			return load("time_dim", 288, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv((i / 12) % 24), iv((i * 5) % 60),
+					sv([]string{"day", "evening", "night"}[i%3])}
+			})
+		},
+		func() error {
+			return load("inventory", numInventory, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(i%numItems + 1), iv(i%8 + 1),
+					iv(i%numDates + 1), iv(int64(r.Intn(1000)))}
+			})
+		},
+		func() error {
+			return load("store_sales", numSales, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(int64(r.Intn(numItems) + 1)),
+					iv(int64(r.Intn(numCustomers) + 1)), iv(int64(r.Intn(numStores) + 1)),
+					iv(int64(r.Intn(numDates) + 1)), iv(int64(r.Intn(numPromos) + 1)),
+					iv(int64(r.Intn(20) + 1)), fv(float64(r.Intn(49900)+100) / 100),
+					fv(float64(r.Intn(2000)) / 100)}
+			})
+		},
+		func() error {
+			return load("catalog_sales", numCatalog, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(int64(r.Intn(numItems) + 1)),
+					iv(int64(r.Intn(numCustomers) + 1)), iv(int64(r.Intn(10) + 1)),
+					iv(int64(r.Intn(numDates) + 1)), iv(int64(r.Intn(20) + 1)),
+					fv(float64(r.Intn(49900)+100) / 100)}
+			})
+		},
+		func() error {
+			return load("web_sales", numWeb, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(int64(r.Intn(numItems) + 1)),
+					iv(int64(r.Intn(numCustomers) + 1)), iv(int64(r.Intn(10) + 1)),
+					iv(int64(r.Intn(numDates) + 1)), iv(int64(r.Intn(20) + 1)),
+					fv(float64(r.Intn(49900)+100) / 100)}
+			})
+		},
+		func() error {
+			return load("store_returns", numReturns, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(int64(r.Intn(numItems) + 1)),
+					iv(int64(r.Intn(numCustomers) + 1)), iv(int64(r.Intn(12) + 1)),
+					fv(float64(r.Intn(30000)) / 100)}
+			})
+		},
+		func() error {
+			return load("catalog_returns", numReturns/3, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(int64(r.Intn(numItems) + 1)),
+					iv(int64(r.Intn(12) + 1)), fv(float64(r.Intn(30000)) / 100)}
+			})
+		},
+		func() error {
+			return load("web_returns", numReturns/3, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), iv(int64(r.Intn(numItems) + 1)),
+					iv(int64(r.Intn(12) + 1)), fv(float64(r.Intn(30000)) / 100)}
+			})
+		},
+		func() error {
+			return load("catalog_page", 50, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv(fmt.Sprintf("dept%d", i%10)), sv("seasonal")}
+			})
+		},
+		func() error {
+			return load("web_page", 30, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv([]string{"order", "review", "ad"}[i%3]), iv(i % 40)}
+			})
+		},
+		func() error {
+			return load("dbgen_version", 1, func(i int64) sqltypes.Tuple {
+				return sqltypes.Tuple{iv(i), sv("repro-1.0")}
+			})
+		},
+	}
+	for _, fn := range loads {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return db.AnalyzeAll()
+}
+
+// Queries returns the deterministic analytical query set. Each entry is a
+// named query; the benchmark harness reports per-query improvements over
+// this set (paper Figs. 6–7).
+type Query struct {
+	Name string
+	SQL  string
+}
+
+// QuerySet generates the analytical queries.
+func QuerySet() []Query {
+	var qs []Query
+	add := func(name, sql string) { qs = append(qs, Query{Name: name, SQL: sql}) }
+
+	// Point and small-range fact lookups through dimension filters.
+	for i, st := range states[:6] {
+		add(fmt.Sprintf("q_store_state_%d", i+1), fmt.Sprintf(
+			`SELECT s.s_city, COUNT(*), SUM(ss.ss_price) FROM store_sales ss JOIN store s ON ss.ss_store_id = s.s_id WHERE s.s_state = '%s' GROUP BY s.s_city`, st))
+	}
+	for i, cat := range categories {
+		add(fmt.Sprintf("q_item_cat_%d", i+1), fmt.Sprintf(
+			`SELECT i.i_brand_id, AVG(ss.ss_price) FROM store_sales ss JOIN item i ON ss.ss_item_id = i.i_id WHERE i.i_category = '%s' AND ss.ss_quantity > 10 GROUP BY i.i_brand_id ORDER BY i.i_brand_id LIMIT 20`, cat))
+	}
+	// Date-sliced aggregates.
+	for q := 1; q <= 4; q++ {
+		add(fmt.Sprintf("q_quarter_%d", q), fmt.Sprintf(
+			`SELECT d.d_month, SUM(ss.ss_price), COUNT(*) FROM store_sales ss JOIN date_dim d ON ss.ss_date_id = d.d_id WHERE d.d_quarter = %d AND d.d_year = 2020 GROUP BY d.d_month`, q))
+	}
+	// Customer-centric joins.
+	for y := 1950; y <= 1990; y += 10 {
+		add(fmt.Sprintf("q_birth_%d", y), fmt.Sprintf(
+			`SELECT ca.ca_state, COUNT(*) FROM customer c JOIN customer_address ca ON c.c_address_id = ca.ca_id WHERE c.c_birth_year BETWEEN %d AND %d GROUP BY ca.ca_state`, y, y+9))
+	}
+	// Promotion effectiveness.
+	for i, ch := range channels {
+		add(fmt.Sprintf("q_promo_%d", i+1), fmt.Sprintf(
+			`SELECT p.p_id, SUM(ss.ss_price) FROM store_sales ss JOIN promotion p ON ss.ss_promo_id = p.p_id WHERE p.p_channel = '%s' GROUP BY p.p_id ORDER BY p.p_id LIMIT 10`, ch))
+	}
+	// Q32 family: correlated index pairs. The filter index on catalog_sales
+	// and the join-column index on web_sales each help a little alone; only
+	// together do they enable the cheap index nested-loop plan — the paper's
+	// §III motivation for tree search over greedy selection.
+	for m := 1; m <= 8; m++ {
+		add(fmt.Sprintf("q32_like_%d", m), fmt.Sprintf(
+			`SELECT cs.cs_price, ws.ws_price FROM catalog_sales cs JOIN web_sales ws ON ws.ws_customer_id = cs.cs_customer_id WHERE cs.cs_item_id = %d AND ws.ws_quantity > %d`,
+			m*37, 10+m))
+	}
+	// Cross-channel unions of lookups.
+	for i := 1; i <= 6; i++ {
+		add(fmt.Sprintf("q_web_cust_%d", i), fmt.Sprintf(
+			`SELECT ws.ws_price, ws.ws_quantity FROM web_sales ws WHERE ws.ws_customer_id = %d ORDER BY ws.ws_price DESC`, i*373))
+		add(fmt.Sprintf("q_cat_cust_%d", i), fmt.Sprintf(
+			`SELECT cs.cs_price FROM catalog_sales cs WHERE cs.cs_customer_id = %d AND cs.cs_quantity > 5`, i*251))
+	}
+	// Inventory checks.
+	for i := 1; i <= 4; i++ {
+		add(fmt.Sprintf("q_inv_%d", i), fmt.Sprintf(
+			`SELECT w.w_state, SUM(inv.inv_quantity) FROM inventory inv JOIN warehouse w ON inv.inv_warehouse_id = w.w_id WHERE inv.inv_item_id < %d GROUP BY w.w_state`, i*300))
+	}
+	// Returns analysis.
+	for i := 1; i <= 4; i++ {
+		add(fmt.Sprintf("q_ret_%d", i), fmt.Sprintf(
+			`SELECT r.r_desc, COUNT(*), SUM(sr.sr_amount) FROM store_returns sr JOIN reason r ON sr.sr_reason_id = r.r_id WHERE sr.sr_amount > %d GROUP BY r.r_desc`, i*25))
+	}
+	// Demographic drill-downs.
+	for i, edu := range []string{"college", "advanced"} {
+		add(fmt.Sprintf("q_demo_%d", i+1), fmt.Sprintf(
+			`SELECT cd.cd_gender, COUNT(*) FROM customer c JOIN customer_demographics cd ON c.c_demo_id = cd.cd_id WHERE cd.cd_education = '%s' GROUP BY cd.cd_gender`, edu))
+	}
+	// Heavy multi-join: sales by state and category.
+	for i := 1; i <= 3; i++ {
+		add(fmt.Sprintf("q_multi_%d", i), fmt.Sprintf(
+			`SELECT s.s_state, i.i_category, SUM(ss.ss_price) FROM store_sales ss JOIN store s ON ss.ss_store_id = s.s_id JOIN item i ON ss.ss_item_id = i.i_id JOIN date_dim d ON ss.ss_date_id = d.d_id WHERE d.d_year = 2020 AND ss.ss_discount < %d GROUP BY s.s_state, i.i_category LIMIT 40`, i*4))
+	}
+	// Selective point-lookup families spread across many tables. Each
+	// family wants its own index; a method capped at a few indexes (the
+	// paper's Greedy picks 3) cannot cover them all — this is what separates
+	// the Fig. 7 histograms.
+	for i := 1; i <= 6; i++ {
+		add(fmt.Sprintf("q_ss_cust_%d", i), fmt.Sprintf(
+			`SELECT ss.ss_price, ss.ss_quantity FROM store_sales ss WHERE ss.ss_customer_id = %d`, i*431))
+	}
+	for i := 1; i <= 5; i++ {
+		add(fmt.Sprintf("q_sr_cust_%d", i), fmt.Sprintf(
+			`SELECT sr.sr_amount FROM store_returns sr WHERE sr.sr_customer_id = %d`, i*389))
+	}
+	for i := 1; i <= 4; i++ {
+		add(fmt.Sprintf("q_inv_item_%d", i), fmt.Sprintf(
+			`SELECT inv.inv_quantity, inv.inv_warehouse_id FROM inventory inv WHERE inv.inv_item_id = %d`, i*211))
+	}
+	for i := 1; i <= 3; i++ {
+		add(fmt.Sprintf("q_cr_item_%d", i), fmt.Sprintf(
+			`SELECT cr.cr_amount FROM catalog_returns cr WHERE cr.cr_item_id = %d`, i*157))
+		add(fmt.Sprintf("q_wr_item_%d", i), fmt.Sprintf(
+			`SELECT wr.wr_amount FROM web_returns wr WHERE wr.wr_item_id = %d`, i*113))
+		add(fmt.Sprintf("q_addr_zip_%d", i), fmt.Sprintf(
+			`SELECT ca.ca_city, ca.ca_state FROM customer_address ca WHERE ca.ca_zip = %d`, 10000+i*97))
+	}
+	for i := 1; i <= 4; i++ {
+		add(fmt.Sprintf("q_cust_addr_%d", i), fmt.Sprintf(
+			`SELECT c.c_birth_year FROM customer c WHERE c.c_address_id = %d`, i*307))
+	}
+	return qs
+}

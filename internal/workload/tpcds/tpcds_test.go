@@ -1,0 +1,72 @@
+package tpcds
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+)
+
+func loadOnce(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New()
+	if err := NewLoader(1).Load(db); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestLoadCreates25Tables(t *testing.T) {
+	db := loadOnce(t)
+	if got := len(db.Catalog().Tables()); got != 25 {
+		t.Fatalf("want 25 tables, got %d", got)
+	}
+	if db.Catalog().Table("store_sales").NumRows != numSales {
+		t.Errorf("store_sales rows: %d", db.Catalog().Table("store_sales").NumRows)
+	}
+	if db.Catalog().Table("item").NumRows != numItems {
+		t.Errorf("item rows: %d", db.Catalog().Table("item").NumRows)
+	}
+}
+
+func TestAllQueriesExecute(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full query sweep in short mode")
+	}
+	db := loadOnce(t)
+	qs := QuerySet()
+	if len(qs) < 40 {
+		t.Fatalf("query set too small: %d", len(qs))
+	}
+	for _, q := range qs {
+		if _, err := db.Exec(q.SQL); err != nil {
+			t.Fatalf("query %s failed: %v\n%s", q.Name, err, q.SQL)
+		}
+	}
+}
+
+func TestQ32LikeBenefitsFromIndexPair(t *testing.T) {
+	if testing.Short() {
+		t.Skip("index-pair benchmark in short mode")
+	}
+	db := loadOnce(t)
+	q := `SELECT cs.cs_price, ws.ws_price FROM catalog_sales cs JOIN web_sales ws ON ws.ws_customer_id = cs.cs_customer_id WHERE cs.cs_item_id = 37 AND ws.ws_quantity > 12`
+
+	run := func() float64 {
+		res, err := db.Exec(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.ActualCost()
+	}
+	base := run()
+	if _, err := db.Exec("CREATE INDEX idx_cs_item ON catalog_sales (cs_item_id)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE INDEX idx_ws_cust ON web_sales (ws_customer_id)"); err != nil {
+		t.Fatal(err)
+	}
+	both := run()
+	if both >= base {
+		t.Errorf("index pair should speed the Q32-like query: %.1f -> %.1f", base, both)
+	}
+}
