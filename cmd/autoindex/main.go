@@ -21,6 +21,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/mcts"
+	"repro/internal/obs"
 	"repro/internal/workload/banking"
 	"repro/internal/workload/epidemic"
 	"repro/internal/workload/tpcc"
@@ -40,8 +41,22 @@ func main() {
 	saveSnap := flag.String("save", "", "save database snapshot after tuning")
 	rounds := flag.Int("rounds", 1, "tuning rounds (each round: run workload, tune; forecast mode when > 1)")
 	report := flag.Bool("report", false, "print the per-index state report each round")
+	jsonReport := flag.Bool("json", false, "print state reports as JSON instead of text")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics (Prometheus text), /metrics.json and /debug/trace on this address (e.g. :9090)")
 	flag.Parse()
 	showReport = *report
+	jsonOut = *jsonReport
+
+	if *metricsAddr != "" {
+		metricsRegistry = obs.NewRegistry()
+		metricsTracer = obs.NewTracer(nil) // ring only; spans served at /debug/trace
+		if _, err := obs.Serve(*metricsAddr, metricsRegistry, metricsTracer); err != nil {
+			fmt.Fprintln(os.Stderr, "autoindex: metrics listener:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serving /metrics and /debug/trace on %s\n", *metricsAddr)
+	}
 
 	if err := run(*scenario, *scale, *schemaFile, *workloadFile, *budget, *seed,
 		*apply, *stmts, *loadSnap, *saveSnap, *rounds); err != nil {
@@ -52,6 +67,15 @@ func main() {
 
 // showReport toggles the per-round state report (set from -report).
 var showReport bool
+
+// jsonOut switches state reports to JSON (set from -json).
+var jsonOut bool
+
+// metricsRegistry / metricsTracer are set when -metrics-addr is given.
+var (
+	metricsRegistry *obs.Registry
+	metricsTracer   *obs.Tracer
+)
 
 func run(scenario string, scale int, schemaFile, workloadFile string,
 	budget, seed int64, apply bool, n int, loadSnap, saveSnap string, rounds int) error {
@@ -142,6 +166,10 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 		MCTS:        mcts.Config{Iterations: 200, Rollouts: 4, Seed: seed, EarlyStopRounds: 50},
 		UseForecast: rounds > 1,
 	})
+	if metricsRegistry != nil {
+		db.SetMetrics(metricsRegistry)
+		mgr.Instrument(metricsRegistry, metricsTracer)
+	}
 
 	var baseline float64
 	for round := 1; round <= rounds; round++ {
@@ -158,6 +186,9 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 		}
 		fmt.Printf("measured: cost=%.1f throughput=%.3f errors=%d templates=%d\n",
 			run.TotalCost, run.Throughput(), run.Errors, mgr.TemplateStore().Len())
+		// Feed the measured cost back: this completes the previous round's
+		// predicted-vs-actual benefit record.
+		mgr.ObserveMeasuredCost(run.TotalCost)
 		mgr.CloseWindow()
 
 		rep, err := mgr.Diagnose()
@@ -168,7 +199,9 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 			len(rep.BeneficialUncreated), len(rep.RarelyUsed), len(rep.Negative),
 			rep.ProblemRatio, rep.NeedsTuning)
 		if showReport {
-			fmt.Print(mgr.Report().String())
+			if err := printReport(mgr); err != nil {
+				return err
+			}
 		}
 
 		rec, err := mgr.Recommend()
@@ -206,12 +239,22 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 
 	if apply {
 		after := harness.Run(db, stream)
+		mgr.ObserveMeasuredCost(after.TotalCost)
 		delta := 0.0
 		if baseline > 0 {
 			delta = (after.Throughput()/baseline - 1) * 100
 		}
 		fmt.Printf("\nfinal: cost=%.1f throughput=%.3f (%+.1f%% vs first round)\n",
 			after.TotalCost, after.Throughput(), delta)
+		if relErr, n, ok := mgr.PredictionAccuracy(); ok {
+			fmt.Printf("estimator accuracy: mean relative benefit error %.2f over %d applied rounds\n",
+				relErr, n)
+		}
+	}
+	if jsonOut {
+		if err := printReport(mgr); err != nil {
+			return err
+		}
 	}
 	if saveSnap != "" {
 		if err := db.SaveFile(saveSnap); err != nil {
@@ -220,6 +263,21 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 		fmt.Printf("snapshot saved to %s\n", saveSnap)
 	}
 	return nil
+}
+
+// printReport renders the state report as text or (with -json) JSON.
+func printReport(mgr *autoindex.Manager) error {
+	rep := mgr.Report()
+	if !jsonOut {
+		fmt.Print(rep.String())
+		return nil
+	}
+	out, err := rep.JSON()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(out)
+	return err
 }
 
 func execFile(db *engine.DB, path string) error {

@@ -11,18 +11,38 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id (fig1,fig5,table1,fig6,fig7,table2,table3,fig8,fig9,fig10,estimator,q32,all)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	quick := flag.Bool("quick", false, "smaller workloads (faster, noisier)")
+	traceOut := flag.String("trace-out", "",
+		"write a JSONL span trace of every tuning round to this file (replayable experiment telemetry)")
 	flag.Parse()
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: trace-out:", err)
+			os.Exit(1)
+		}
+		w := bufio.NewWriterSize(f, 1<<20)
+		// Every manager the experiments construct picks this up via
+		// obs.DefaultTracer, so existing experiment code needs no plumbing.
+		obs.SetDefaultTracer(obs.NewTracer(w))
+		defer func() {
+			_ = w.Flush()
+			_ = f.Close()
+		}()
+	}
 
 	runners := map[string]func(int64, bool) error{
 		"fig1":       runFig1,

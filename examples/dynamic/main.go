@@ -8,11 +8,13 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/autoindex"
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/mcts"
+	"repro/internal/obs"
 	"repro/internal/workload/tpcc"
 )
 
@@ -25,6 +27,14 @@ func main() {
 	mgr := autoindex.New(db, autoindex.Options{
 		MCTS: mcts.Config{Iterations: 120, Seed: 13, EarlyStopRounds: 40},
 	})
+
+	// Observability: engine metrics plus a span per tuning round. The same
+	// registry/tracer pair backs the /metrics and /debug/trace endpoints in
+	// cmd/autoindex; here the trace goes to stderr as JSONL.
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(os.Stderr)
+	db.SetMetrics(reg)
+	mgr.Instrument(reg, tracer)
 
 	epochs := []struct {
 		name string
@@ -42,6 +52,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Completes the previous epoch's predicted-vs-actual record.
+		mgr.ObserveMeasuredCost(run.TotalCost)
 		fmt.Printf("epoch %d (%s): %d stmts, cost=%.0f, throughput=%.3f\n",
 			i+1, ep.name, run.Statements, run.TotalCost, run.Throughput())
 
@@ -69,5 +81,18 @@ func main() {
 
 		// Let the template store drift with the workload (paper §IV-C).
 		mgr.TemplateStore().Decay(0.3, 0.5)
+	}
+
+	// The canonical wrap-up: the state report (who exists, how probed) and
+	// the Prometheus-style metrics page every binary can serve or dump.
+	fmt.Println("\n--- state report ---")
+	fmt.Print(mgr.Report().String())
+	if relErr, n, ok := mgr.PredictionAccuracy(); ok {
+		fmt.Printf("estimator accuracy: mean relative benefit error %.2f over %d applied rounds\n",
+			relErr, n)
+	}
+	fmt.Println("\n--- metrics ---")
+	if err := reg.WriteProm(os.Stdout); err != nil {
+		log.Fatal(err)
 	}
 }

@@ -46,6 +46,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Report the measured cost: it becomes the baseline of the next applied
+	// recommendation's predicted-vs-actual benefit record.
+	mgr.ObserveMeasuredCost(before.TotalCost)
 	fmt.Printf("before tuning: total cost %.1f, %d templates observed\n",
 		before.TotalCost, mgr.TemplateStore().Len())
 
@@ -69,10 +72,18 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 5. Re-run and confirm.
+	// 5. Re-run and confirm: the measured cost completes the recommendation's
+	// predicted-vs-actual record, and the state report summarizes the result.
 	after := harness.Run(db, workload)
+	mgr.ObserveMeasuredCost(after.TotalCost)
 	fmt.Printf("after tuning:  total cost %.1f (%.1fx faster)\n",
 		after.TotalCost, before.TotalCost/after.TotalCost)
+
+	for _, o := range mgr.Outcomes() {
+		fmt.Printf("round %d: predicted benefit %.1f, measured benefit %.1f\n",
+			o.Round, o.PredictedBenefit, o.MeasuredBenefit)
+	}
+	fmt.Print(mgr.Report().String())
 }
 
 func mustExec(db *engine.DB, sql string) {

@@ -9,6 +9,7 @@ package autoindex
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/diagnosis"
 	"repro/internal/engine"
 	"repro/internal/mcts"
+	"repro/internal/obs"
 	"repro/internal/template"
 	"repro/internal/workload"
 )
@@ -87,19 +89,32 @@ type Manager struct {
 	generator *candgen.Generator
 	// samples accumulates training data for the benefit estimator.
 	samples []costmodel.Sample
+	// Observability (nil when off): tracer wraps each tuning round in a
+	// span tree, metrics feed the autoindex_* instruments, outcomes track
+	// predicted-vs-measured benefit per applied recommendation.
+	tracer           *obs.Tracer
+	metrics          *managerMetrics
+	rounds           int64
+	outcomes         []AppliedOutcome
+	lastMeasuredCost float64
 }
 
-// New creates a manager over a live database.
+// New creates a manager over a live database. Observability defaults to the
+// process-wide obs.DefaultTracer / obs.DefaultRegistry (both nil unless a
+// binary opts in); override per manager with Instrument.
 func New(db *engine.DB, opts Options) *Manager {
 	opts = opts.withDefaults()
 	est := costmodel.NewEstimator(db.Catalog())
 	est.Parallelism = opts.EstimatorParallelism
 	return &Manager{
-		db:        db,
-		opts:      opts,
-		store:     template.NewStore(opts.TemplateCapacity),
-		estimator: est,
-		generator: candgen.NewGenerator(db.Catalog()),
+		db:               db,
+		opts:             opts,
+		store:            template.NewStore(opts.TemplateCapacity),
+		estimator:        est,
+		generator:        candgen.NewGenerator(db.Catalog()),
+		tracer:           obs.DefaultTracer(),
+		metrics:          newManagerMetrics(obs.DefaultRegistry()),
+		lastMeasuredCost: math.NaN(),
 	}
 }
 
@@ -153,9 +168,32 @@ func (m *Manager) SampleCount() int { return len(m.samples) }
 
 // Diagnose runs the index diagnosis over the current window.
 func (m *Manager) Diagnose() (*diagnosis.Report, error) {
+	return m.diagnoseSpanned(nil)
+}
+
+func (m *Manager) diagnoseSpanned(parent *obs.Span) (*diagnosis.Report, error) {
+	span := m.childOrRoot(parent, "diagnose")
+	defer span.End()
 	w := m.store.Workload()
-	return diagnosis.Diagnose(m.db.Catalog(), m.db.IndexUsage(), m.db.StatementCount(),
+	rep, err := diagnosis.Diagnose(m.db.Catalog(), m.db.IndexUsage(), m.db.StatementCount(),
 		w, m.estimator, m.generator, m.opts.Diagnosis)
+	if err == nil {
+		span.SetAttr("beneficial_uncreated", len(rep.BeneficialUncreated))
+		span.SetAttr("rarely_used", len(rep.RarelyUsed))
+		span.SetAttr("negative", len(rep.Negative))
+		span.SetAttr("problem_ratio", rep.ProblemRatio)
+		span.SetAttr("needs_tuning", rep.NeedsTuning)
+	}
+	return rep, err
+}
+
+// childOrRoot opens a child of parent, or a root span when parent is nil
+// (nil-safe throughout: with tracing off it returns nil).
+func (m *Manager) childOrRoot(parent *obs.Span, name string) *obs.Span {
+	if parent != nil {
+		return parent.Child(name)
+	}
+	return m.tracer.Start(name)
 }
 
 // Recommendation is the outcome of one tuning round.
@@ -182,10 +220,17 @@ type Recommendation struct {
 // anything. With UseForecast set, the round tunes for the predicted
 // next-window template mix.
 func (m *Manager) Recommend() (*Recommendation, error) {
+	round := m.startRound("recommend")
+	defer round.End()
+	return m.recommendSpanned(m.roundWorkload(), round)
+}
+
+// roundWorkload picks the workload a tuning round prices against.
+func (m *Manager) roundWorkload() *workload.Workload {
 	if m.opts.UseForecast {
-		return m.recommendOn(m.store.ForecastWorkload())
+		return m.store.ForecastWorkload()
 	}
-	return m.recommendOn(m.store.Workload())
+	return m.store.Workload()
 }
 
 // CloseWindow marks a tuning-round boundary for trend tracking (no-op
@@ -197,22 +242,36 @@ func (m *Manager) CloseWindow() {
 // RecommendOn tunes against an explicit workload (bypassing the template
 // store); used by the query-level ablation and tests.
 func (m *Manager) RecommendOn(w *workload.Workload) (*Recommendation, error) {
-	return m.recommendOn(w)
+	round := m.startRound("recommend_on")
+	defer round.End()
+	return m.recommendSpanned(w, round)
 }
 
-func (m *Manager) recommendOn(w *workload.Workload) (*Recommendation, error) {
+// recommendSpanned is the tuning-round core; round (nil-safe) receives the
+// candgen → mcts → estimate child spans and the round summary attributes.
+func (m *Manager) recommendSpanned(w *workload.Workload, round *obs.Span) (*Recommendation, error) {
 	start := time.Now()
 	if len(w.Queries) == 0 {
+		round.SetAttr("empty_workload", true)
 		return &Recommendation{Duration: time.Since(start)}, nil
 	}
+	round.SetAttr("templates", len(w.Queries))
 
+	cgSpan := round.Child("candgen")
 	cands := m.generator.Generate(w)
+	cgSpan.SetAttr("generated", len(cands))
 	if len(cands) > m.opts.MaxCandidates {
 		cands = cands[:m.opts.MaxCandidates]
 	}
 	pool := make([]*catalog.IndexMeta, len(cands))
 	for i, c := range cands {
 		pool[i] = c.Meta
+	}
+	cgSpan.SetAttr("pool", len(pool))
+	cgSpan.End()
+	if m.metrics != nil {
+		m.metrics.candidates.Set(float64(len(pool)))
+		m.metrics.templates.Set(float64(len(w.Queries)))
 	}
 
 	existing := m.realSecondaryIndexes()
@@ -224,10 +283,14 @@ func (m *Manager) recommendOn(w *workload.Workload) (*Recommendation, error) {
 	// drift: at tight budgets it excludes exactly the large, high-benefit
 	// index that just fits.
 	cfg.Budget = m.opts.Budget
+	mctsSpan := round.Child("mcts")
+	cfg.Span = mctsSpan
+	cfg.Metrics = m.mctsRegistry()
 	eval := mcts.EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
 		return m.estimator.WorkloadCost(w, active)
 	})
 	res, err := mcts.Search(eval, existing, pool, cfg)
+	mctsSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +318,8 @@ func (m *Manager) recommendOn(w *workload.Workload) (*Recommendation, error) {
 	// can carry such passengers into the best configuration). Correlated
 	// pairs survive — removing either member raises the cost.
 	if len(rec.Create) > 1 {
+		estSpan := round.Child("estimate")
+		candidateCount := len(rec.Create)
 		kept := rec.Create[:0]
 		final := res.Indexes
 		finalCost := res.BestCost
@@ -267,6 +332,7 @@ func (m *Manager) recommendOn(w *workload.Workload) (*Recommendation, error) {
 			}
 			c, err := m.estimator.WorkloadCost(w, without)
 			if err != nil {
+				estSpan.End()
 				return nil, err
 			}
 			if c > finalCost*(1+1e-9) {
@@ -280,6 +346,9 @@ func (m *Manager) recommendOn(w *workload.Workload) (*Recommendation, error) {
 		rec.Create = kept
 		rec.BestCost = finalCost
 		rec.EstimatedBenefit = rec.BaseCost - finalCost
+		estSpan.SetAttr("checked", candidateCount)
+		estSpan.SetAttr("pruned", candidateCount-len(kept))
+		estSpan.End()
 	}
 	removed := make(map[string]bool, len(res.RemovedKeys))
 	for _, k := range res.RemovedKeys {
@@ -292,12 +361,40 @@ func (m *Manager) recommendOn(w *workload.Workload) (*Recommendation, error) {
 	}
 	sort.Strings(rec.Drop)
 	rec.Duration = time.Since(start)
+	if round != nil {
+		createNames := make([]string, len(rec.Create))
+		for i, spec := range rec.Create {
+			createNames[i] = spec.Key()
+		}
+		round.SetAttr("candidates", rec.CandidateCount)
+		round.SetAttr("evaluations", rec.Evaluations)
+		round.SetAttr("base_cost", rec.BaseCost)
+		round.SetAttr("best_cost", rec.BestCost)
+		round.SetAttr("predicted_benefit", rec.EstimatedBenefit)
+		round.SetAttr("create", createNames)
+		round.SetAttr("drop", rec.Drop)
+	}
 	return rec, nil
 }
 
 // Apply executes a recommendation: drops first (freeing budget), then
-// creates. Returns the number of indexes created and dropped.
+// creates. Returns the number of indexes created and dropped. Each apply
+// with real changes opens a predicted-vs-actual benefit record, completed
+// by the next ObserveMeasuredCost.
 func (m *Manager) Apply(rec *Recommendation) (created, dropped int, err error) {
+	return m.applySpanned(rec, nil)
+}
+
+func (m *Manager) applySpanned(rec *Recommendation, parent *obs.Span) (created, dropped int, err error) {
+	span := m.childOrRoot(parent, "apply")
+	defer func() {
+		span.SetAttr("created", created)
+		span.SetAttr("dropped", dropped)
+		span.End()
+		if err == nil {
+			m.recordApplied(rec, created, dropped)
+		}
+	}()
 	for _, name := range rec.Drop {
 		if err := m.db.DropIndex(name); err != nil {
 			return created, dropped, fmt.Errorf("autoindex: drop %s: %w", name, err)
@@ -379,23 +476,30 @@ func (m *Manager) ApplyDrops(names []string) (int, error) {
 
 // Tune is the full loop: handle workload drift (decay stale templates),
 // diagnose, and when tuning is needed (or force is set), recommend and
-// apply. It returns the recommendation (nil when no tuning happened).
+// apply. It returns the recommendation (nil when no tuning happened). The
+// whole round is traced as one span with diagnose → candgen → mcts →
+// estimate → apply children.
 func (m *Manager) Tune(force bool) (*Recommendation, error) {
-	m.MaybeDecayTemplates()
+	round := m.startRound("tune")
+	defer round.End()
+	if decayed := m.MaybeDecayTemplates(); decayed {
+		round.SetAttr("templates_decayed", true)
+	}
 	if !force {
-		rep, err := m.Diagnose()
+		rep, err := m.diagnoseSpanned(round)
 		if err != nil {
 			return nil, err
 		}
 		if !rep.NeedsTuning {
+			round.SetAttr("skipped", "no_tuning_needed")
 			return nil, nil
 		}
 	}
-	rec, err := m.Recommend()
+	rec, err := m.recommendSpanned(m.roundWorkload(), round)
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := m.Apply(rec); err != nil {
+	if _, _, err := m.applySpanned(rec, round); err != nil {
 		return nil, err
 	}
 	return rec, nil

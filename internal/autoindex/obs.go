@@ -1,0 +1,158 @@
+package autoindex
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// managerMetrics holds the manager's pre-resolved instrument handles.
+type managerMetrics struct {
+	reg        *obs.Registry
+	rounds     *obs.Counter
+	created    *obs.Counter
+	dropped    *obs.Counter
+	candidates *obs.Gauge
+	templates  *obs.Gauge
+	predicted  *obs.Gauge
+	measured   *obs.Gauge
+	relError   *obs.Gauge
+}
+
+func newManagerMetrics(reg *obs.Registry) *managerMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &managerMetrics{
+		reg:        reg,
+		rounds:     reg.Counter("autoindex_rounds_total", "Tuning rounds started"),
+		created:    reg.Counter("autoindex_indexes_created_total", "Indexes created by Apply"),
+		dropped:    reg.Counter("autoindex_indexes_dropped_total", "Indexes dropped by Apply"),
+		candidates: reg.Gauge("autoindex_candidates", "Candidate pool size of the last round"),
+		templates:  reg.Gauge("autoindex_templates", "Templates the last round's workload compressed to"),
+		predicted:  reg.Gauge("autoindex_predicted_benefit", "Estimator benefit of the last applied recommendation"),
+		measured:   reg.Gauge("autoindex_measured_benefit", "Measured benefit of the last completed recommendation"),
+		relError:   reg.Gauge("autoindex_benefit_rel_error", "Relative |predicted-measured|/measured of the last completed recommendation"),
+	}
+}
+
+// Instrument attaches a metrics registry and/or tracer to the manager
+// (either may be nil). It overrides whatever process-wide defaults New
+// picked up; passing nil for both turns observability off again.
+func (m *Manager) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
+	m.metrics = newManagerMetrics(reg)
+	m.tracer = tracer
+}
+
+// Registry returns the manager's metrics registry (nil when off).
+func (m *Manager) Registry() *obs.Registry {
+	if m.metrics == nil {
+		return nil
+	}
+	return m.metrics.reg
+}
+
+// mctsRegistry returns the registry handle for the MCTS config (nil-safe).
+func (m *Manager) mctsRegistry() *obs.Registry { return m.Registry() }
+
+// startRound opens a tuning-round span and bumps the round counter. The
+// returned span is nil when tracing is off — all callees are nil-safe.
+func (m *Manager) startRound(kind string) *obs.Span {
+	m.rounds++
+	if m.metrics != nil {
+		m.metrics.rounds.Inc()
+	}
+	span := m.tracer.Start("tuning_round")
+	span.SetAttr("round", m.rounds)
+	span.SetAttr("kind", kind)
+	return span
+}
+
+// AppliedOutcome tracks one applied recommendation's predicted benefit and,
+// once the next measured workload cost is reported, the realized benefit —
+// the estimator's accuracy feedback loop.
+type AppliedOutcome struct {
+	// Round is the tuning round the recommendation came from.
+	Round int64
+	// Created / Dropped count applied index changes.
+	Created, Dropped int
+	// PredictedBenefit is the estimator's promised workload cost reduction.
+	PredictedBenefit float64
+	// CostBefore is the measured workload cost before applying (NaN when no
+	// measurement had been reported yet).
+	CostBefore float64
+	// CostAfter is the next measured workload cost after applying (NaN
+	// until reported via ObserveMeasuredCost).
+	CostAfter float64
+	// MeasuredBenefit is CostBefore - CostAfter once both are known.
+	MeasuredBenefit float64
+	// Complete marks that the after-measurement has arrived.
+	Complete bool
+}
+
+// ObserveMeasuredCost reports one measured workload cost (e.g. a window's
+// harness.RunStats.TotalCost). The first report after an Apply completes
+// that recommendation's predicted-vs-actual record; every report updates
+// the baseline for the next one. Call it once per tuning window.
+func (m *Manager) ObserveMeasuredCost(cost float64) {
+	if n := len(m.outcomes); n > 0 && !m.outcomes[n-1].Complete {
+		o := &m.outcomes[n-1]
+		o.CostAfter = cost
+		o.Complete = true
+		if !math.IsNaN(o.CostBefore) {
+			o.MeasuredBenefit = o.CostBefore - cost
+			if m.metrics != nil {
+				m.metrics.measured.Set(o.MeasuredBenefit)
+				if o.MeasuredBenefit != 0 {
+					m.metrics.relError.Set(math.Abs(o.PredictedBenefit-o.MeasuredBenefit) /
+						math.Abs(o.MeasuredBenefit))
+				}
+			}
+		}
+	}
+	m.lastMeasuredCost = cost
+}
+
+// Outcomes returns the applied-recommendation history (oldest first).
+func (m *Manager) Outcomes() []AppliedOutcome {
+	return append([]AppliedOutcome{}, m.outcomes...)
+}
+
+// PredictionAccuracy aggregates completed outcomes into the estimator's
+// mean relative benefit error |predicted-measured| / |measured|. ok is
+// false when no outcome has both sides measured.
+func (m *Manager) PredictionAccuracy() (meanRelError float64, n int, ok bool) {
+	var sum float64
+	for _, o := range m.outcomes {
+		if !o.Complete || math.IsNaN(o.CostBefore) || o.MeasuredBenefit == 0 {
+			continue
+		}
+		sum += math.Abs(o.PredictedBenefit-o.MeasuredBenefit) / math.Abs(o.MeasuredBenefit)
+		n++
+	}
+	if n == 0 {
+		return 0, 0, false
+	}
+	return sum / float64(n), n, true
+}
+
+// recordApplied opens a predicted-vs-actual record for an applied
+// recommendation and updates the apply metrics.
+func (m *Manager) recordApplied(rec *Recommendation, created, dropped int) {
+	if m.metrics != nil {
+		m.metrics.created.Add(int64(created))
+		m.metrics.dropped.Add(int64(dropped))
+		m.metrics.predicted.Set(rec.EstimatedBenefit)
+	}
+	if created == 0 && dropped == 0 {
+		return
+	}
+	m.outcomes = append(m.outcomes, AppliedOutcome{
+		Round:            m.rounds,
+		Created:          created,
+		Dropped:          dropped,
+		PredictedBenefit: rec.EstimatedBenefit,
+		CostBefore:       m.lastMeasuredCost,
+		CostAfter:        math.NaN(),
+	})
+}

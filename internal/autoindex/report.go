@@ -1,24 +1,43 @@
 package autoindex
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 )
 
-// StateReport is a human-readable summary of the managed database's index
-// health: what exists, how big, how often probed, and what the template
-// store currently believes about the workload.
+// IndexState is one index's entry in the state report.
+type IndexState struct {
+	Name      string   `json:"name"`
+	Table     string   `json:"table"`
+	Columns   []string `json:"columns"`
+	Kind      string   `json:"kind"` // "global" or "local"
+	SizeBytes int64    `json:"size_bytes"`
+	Height    int      `json:"height"`
+	NumTuples int64    `json:"num_tuples"`
+	Probes    int64    `json:"probes"`
+}
+
+// StateReport is a summary of the managed database's index health: what
+// exists, how big, how often probed, and what the template store currently
+// believes about the workload. String renders it for humans, JSON for
+// machines.
 type StateReport struct {
-	Tables           int
-	SecondaryIndexes int
-	IndexBytes       int64
-	Templates        int
-	TemplateMatches  int64
-	TemplateMisses   int64
-	Statements       int64
-	// Lines is the formatted per-index breakdown.
-	Lines []string
+	Tables           int   `json:"tables"`
+	SecondaryIndexes int   `json:"secondary_indexes"`
+	IndexBytes       int64 `json:"index_bytes"`
+	Templates        int   `json:"templates"`
+	TemplateMatches  int64 `json:"template_matches"`
+	TemplateMisses   int64 `json:"template_misses"`
+	Statements       int64 `json:"statements"`
+	// Indexes is the per-index breakdown, largest first.
+	Indexes []IndexState `json:"indexes"`
+	// Outcomes is the predicted-vs-measured benefit history of applied
+	// recommendations (empty until recommendations are applied).
+	Outcomes []AppliedOutcome `json:"outcomes,omitempty"`
+	// Lines is the formatted per-index breakdown (String output only).
+	Lines []string `json:"-"`
 }
 
 // String renders the report.
@@ -32,7 +51,24 @@ func (r *StateReport) String() string {
 		b.WriteString(l)
 		b.WriteByte('\n')
 	}
+	for _, o := range r.Outcomes {
+		fmt.Fprintf(&b, "  round %d: +%d/-%d predicted=%.1f", o.Round, o.Created, o.Dropped,
+			o.PredictedBenefit)
+		if o.Complete {
+			fmt.Fprintf(&b, " measured=%.1f", o.MeasuredBenefit)
+		}
+		b.WriteByte('\n')
+	}
 	return b.String()
+}
+
+// JSON renders the machine-readable report (indented, trailing newline).
+func (r *StateReport) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
 }
 
 // Report summarizes the current state.
@@ -45,12 +81,6 @@ func (m *Manager) Report() *StateReport {
 	rep.TemplateMatches, rep.TemplateMisses = m.store.MatchStats()
 	usage := m.db.IndexUsage()
 
-	type rowT struct {
-		name  string
-		line  string
-		bytes int64
-	}
-	var rows []rowT
 	for _, idx := range m.db.Catalog().Indexes(false) {
 		if strings.HasPrefix(idx.Name, "pk_") {
 			continue
@@ -61,17 +91,29 @@ func (m *Manager) Report() *StateReport {
 		if idx.Local {
 			kind = "local"
 		}
-		rows = append(rows, rowT{
-			name:  idx.Name,
-			bytes: idx.SizeBytes,
-			line: fmt.Sprintf("  %-32s %s(%s) %-6s %9dB h=%d n=%d probes=%d",
-				idx.Name, idx.Table, strings.Join(idx.Columns, ","), kind,
-				idx.SizeBytes, idx.Height, idx.NumTuples, usage[idx.Name]),
+		rep.Indexes = append(rep.Indexes, IndexState{
+			Name:      idx.Name,
+			Table:     idx.Table,
+			Columns:   append([]string{}, idx.Columns...),
+			Kind:      kind,
+			SizeBytes: idx.SizeBytes,
+			Height:    idx.Height,
+			NumTuples: idx.NumTuples,
+			Probes:    usage[idx.Name],
 		})
 	}
-	sort.Slice(rows, func(i, j int) bool { return rows[i].bytes > rows[j].bytes })
-	for _, r := range rows {
-		rep.Lines = append(rep.Lines, r.line)
+	sort.Slice(rep.Indexes, func(i, j int) bool {
+		if rep.Indexes[i].SizeBytes != rep.Indexes[j].SizeBytes {
+			return rep.Indexes[i].SizeBytes > rep.Indexes[j].SizeBytes
+		}
+		return rep.Indexes[i].Name < rep.Indexes[j].Name
+	})
+	for _, ix := range rep.Indexes {
+		rep.Lines = append(rep.Lines, fmt.Sprintf(
+			"  %-32s %s(%s) %-6s %9dB h=%d n=%d probes=%d",
+			ix.Name, ix.Table, strings.Join(ix.Columns, ","), ix.Kind,
+			ix.SizeBytes, ix.Height, ix.NumTuples, ix.Probes))
 	}
+	rep.Outcomes = m.Outcomes()
 	return rep
 }

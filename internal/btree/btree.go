@@ -31,7 +31,20 @@ type Tree struct {
 	numKeys  int64
 	numPages int64
 	splits   int64
+	monitor  Monitor
 }
+
+// Monitor receives structural-change notifications: one call per page split
+// and one per height change. The observability layer attaches here to count
+// splits and track height without polling; with no monitor set the hooks
+// cost a nil check.
+type Monitor interface {
+	Split()
+	HeightChanged(height int)
+}
+
+// SetMonitor installs (or, with nil, removes) the structural-change monitor.
+func (t *Tree) SetMonitor(m Monitor) { t.monitor = m }
 
 type node interface {
 	isLeaf() bool
@@ -90,6 +103,9 @@ func (t *Tree) Insert(key sqltypes.Key, rid RID) {
 		t.root = newRoot
 		t.height++
 		t.numPages++
+		if t.monitor != nil {
+			t.monitor.HeightChanged(t.height)
+		}
 	}
 	t.numKeys++
 }
@@ -116,6 +132,9 @@ func (t *Tree) insert(n node, key sqltypes.Key, rid RID) (node, sqltypes.Key) {
 		leaf.next = right
 		t.numPages++
 		t.splits++
+		if t.monitor != nil {
+			t.monitor.Split()
+		}
 		return right, right.keys[0]
 	}
 
@@ -141,6 +160,9 @@ func (t *Tree) insert(n node, key sqltypes.Key, rid RID) (node, sqltypes.Key) {
 	inner.children = inner.children[:midKey+1]
 	t.numPages++
 	t.splits++
+	if t.monitor != nil {
+		t.monitor.Split()
+	}
 	return right, sep
 }
 

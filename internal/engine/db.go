@@ -40,6 +40,9 @@ type DB struct {
 	// (AutoIndex attaches here to feed its template store, mirroring the
 	// paper's server-side workload logging).
 	observer func(sql string)
+	// metrics, when set via SetMetrics, receives engine_* counters and
+	// histograms; nil (the default) keeps the hot path free of them.
+	metrics *dbMetrics
 }
 
 // SetObserver installs a statement observer (nil to detach). The observer
@@ -220,6 +223,7 @@ func (db *DB) createIndex(name, table string, columns []string, unique, local bo
 	}
 	db.indexes[meta.Name] = trees
 	db.refreshIndexMeta(meta, trees, keyBytes)
+	db.monitorIndex(meta.Name, trees)
 	return nil
 }
 
@@ -267,6 +271,10 @@ func (db *DB) refreshIndexMeta(meta *catalog.IndexMeta, trees []*btree.Tree, key
 		perEntryPtr = 12 // RID + partition pointer
 	}
 	meta.SizeBytes = int64(float64(keyBytes+n*perEntryPtr) * 1.3)
+	if db.metrics != nil {
+		db.metrics.indexHeight.With(meta.Name).Set(float64(meta.Height))
+		db.metrics.indexBytes.With(meta.Name).Set(float64(meta.SizeBytes))
+	}
 }
 
 // DropIndex removes a real index. Dropping the primary-key index is refused.
@@ -283,6 +291,10 @@ func (db *DB) DropIndex(name string) error {
 		return err
 	}
 	delete(db.indexes, name)
+	if db.metrics != nil {
+		db.metrics.indexHeight.Delete(name)
+		db.metrics.indexBytes.Delete(name)
+	}
 	return nil
 }
 

@@ -56,12 +56,19 @@ func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 		err = fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
 	if err != nil {
+		if db.metrics != nil {
+			db.metrics.stmtTotal.Inc()
+			db.metrics.stmtErrors.Inc()
+		}
 		return nil, err
 	}
 	affected := res.Stats.RowsAffected
 	res.Stats = db.snapshotStats(splitsBefore)
 	res.Stats.RowsReturned = int64(len(res.Rows))
 	res.Stats.RowsAffected = affected
+	if db.metrics != nil {
+		db.metrics.recordStmt(res.Stats)
+	}
 	return res, nil
 }
 
@@ -226,6 +233,9 @@ func (db *DB) runIndexScan(ctx *evalCtx, n *planner.IndexScanNode, outer *row) (
 		return nil, fmt.Errorf("engine: index %q has no tree (hypothetical index executed?)", n.Index.Name)
 	}
 	db.indexUsage[n.Index.Name]++
+	if db.metrics != nil {
+		db.metrics.indexProbes.With(n.Index.Name).Inc()
+	}
 	heap := db.heaps[n.Table]
 
 	env := newRow()

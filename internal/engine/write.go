@@ -197,6 +197,9 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 			return nil, nil, fmt.Errorf("engine: index %q has no tree", sc.Index.Name)
 		}
 		db.indexUsage[sc.Index.Name]++
+		if db.metrics != nil {
+			db.metrics.indexProbes.With(sc.Index.Name).Inc()
+		}
 		heap := db.heaps[t.Name]
 		env := newRow()
 		bounds, eqKey, err := db.buildProbeBounds(ctx, sc, env)

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 )
 
 // Evaluator prices a whole workload under a hypothetical index set. The
@@ -53,6 +54,13 @@ type Config struct {
 	// many consecutive iterations (<=0 disables; paper: stop on meeting the
 	// performance expectation).
 	EarlyStopRounds int
+	// Metrics, when set, receives mcts_* counters (searches, iterations,
+	// expansions, evaluations). Nil: no metric work at all.
+	Metrics *obs.Registry
+	// Span, when set, receives per-search events: one "best_improved" event
+	// per strict improvement of the incumbent configuration, and summary
+	// attributes at the end. Nil: no tracing work at all.
+	Span *obs.Span
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +128,18 @@ type Result struct {
 	Iterations int
 	// SizeBytes is the recommendation's total index footprint.
 	SizeBytes int64
+	// Trajectory records each strict improvement of the incumbent best
+	// configuration: the best-reward curve of the search.
+	Trajectory []TrajectoryPoint
+}
+
+// TrajectoryPoint is one best-reward improvement during the search.
+type TrajectoryPoint struct {
+	// Iteration is the 1-based search iteration the improvement landed on
+	// (0: the root evaluation before the loop).
+	Iteration int
+	// Cost is the incumbent best workload cost after the improvement.
+	Cost float64
 }
 
 // Benefit returns the absolute estimated cost reduction.
@@ -155,6 +175,8 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 	bestCost := baseCost
 	sinceImprove := 0
 	iters := 0
+	expansions := 0
+	trajectory := []TrajectoryPoint{{Iteration: 0, Cost: baseCost}}
 
 	// better prefers clearly lower cost; on (near-)ties it prefers the
 	// smaller configuration, so cost-neutral indexes never join the result.
@@ -174,6 +196,7 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 		if leaf == nil {
 			break // tree exhausted
 		}
+		expansions++
 		benefit, bn, bc, err := s.rollout(leaf)
 		if err != nil {
 			return nil, err
@@ -190,6 +213,11 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 		} else {
 			sinceImprove++
 		}
+		if sinceImprove == 0 {
+			trajectory = append(trajectory, TrajectoryPoint{Iteration: iters, Cost: bestCost})
+			cfg.Span.Event("best_improved",
+				"iteration", iters, "cost", bestCost, "indexes", len(best.indexes))
+		}
 		s.backpropagate(leaf, benefit)
 		if cfg.EarlyStopRounds > 0 && sinceImprove >= cfg.EarlyStopRounds {
 			break
@@ -203,7 +231,19 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 		Evaluations: s.evaluations,
 		Iterations:  iters,
 		SizeBytes:   best.size,
+		Trajectory:  trajectory,
 	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.Counter("mcts_searches_total", "MCTS searches run").Inc()
+		cfg.Metrics.Counter("mcts_iterations_total", "MCTS selection/expansion iterations").Add(int64(iters))
+		cfg.Metrics.Counter("mcts_expansions_total", "Policy-tree nodes expanded").Add(int64(expansions))
+		cfg.Metrics.Counter("mcts_evaluations_total", "Estimator configuration evaluations").Add(int64(s.evaluations))
+	}
+	cfg.Span.SetAttr("iterations", iters)
+	cfg.Span.SetAttr("expansions", expansions)
+	cfg.Span.SetAttr("evaluations", s.evaluations)
+	cfg.Span.SetAttr("base_cost", baseCost)
+	cfg.Span.SetAttr("best_cost", bestCost)
 	initial := keySet(existing)
 	final := keySet(best.indexes)
 	for k := range final {

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine_statements_total", "x").Add(42)
+	tr := NewTracer(nil)
+	root := tr.Start("tuning_round")
+	root.Child("mcts").End()
+	root.End()
+
+	h := Handler(reg, tr)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || !strings.Contains(rec.Body.String(), "engine_statements_total 42") {
+		t.Fatalf("/metrics = %d %q", rec.Code, rec.Body.String())
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	var snap map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics.json invalid: %v", err)
+	}
+	if snap["engine_statements_total"].(float64) != 42 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	var forest []SpanNode
+	if err := json.Unmarshal(rec.Body.Bytes(), &forest); err != nil {
+		t.Fatalf("/debug/trace invalid: %v", err)
+	}
+	if len(forest) != 1 || forest[0].Name != "tuning_round" || len(forest[0].Children) != 1 {
+		t.Fatalf("trace forest = %+v", forest)
+	}
+}
+
+func TestHandlerNilBackends(t *testing.T) {
+	h := Handler(nil, nil)
+	for _, path := range []string{"/metrics", "/metrics.json", "/debug/trace"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Fatalf("%s = %d with nil backends", path, rec.Code)
+		}
+	}
+	// An empty trace renders as an empty array, not null.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
+	if strings.TrimSpace(rec.Body.String()) != "[]" {
+		t.Fatalf("empty trace = %q, want []", rec.Body.String())
+	}
+}
