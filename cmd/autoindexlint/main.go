@@ -1,0 +1,62 @@
+// Command autoindexlint runs the project's static-analysis suite
+// (internal/lint) over the given package patterns and exits non-zero if any
+// diagnostic is reported. Typical use, from the module root:
+//
+//	go run ./cmd/autoindexlint ./...
+//
+// A finding can be suppressed — with justification — by a comment on the
+// same line as the finding or the line above it:
+//
+//	//autoindexlint:ignore mapiterorder keys are drained into a map, order-free
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "print the analyzers and their contracts, then exit")
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := analysis.Run(pkgs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "autoindexlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "autoindexlint:", err)
+	os.Exit(2)
+}

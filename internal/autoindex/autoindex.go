@@ -19,6 +19,7 @@ import (
 	"repro/internal/costmodel"
 	"repro/internal/diagnosis"
 	"repro/internal/engine"
+	"repro/internal/floatcmp"
 	"repro/internal/mcts"
 	"repro/internal/obs"
 	"repro/internal/template"
@@ -335,7 +336,7 @@ func (m *Manager) recommendSpanned(w *workload.Workload, round *obs.Span) (*Reco
 				estSpan.End()
 				return nil, err
 			}
-			if c > finalCost*(1+1e-9) {
+			if !floatcmp.LessEq(c, finalCost) {
 				kept = append(kept, spec)
 			} else {
 				// Neutral passenger: permanently shrink the final set.
@@ -452,7 +453,7 @@ func (m *Manager) PruneRecommendation(w *workload.Workload) ([]string, error) {
 			return nil, err
 		}
 		// Non-increasing cost (tiny tolerance for estimator noise).
-		if c <= base*1.0001 {
+		if floatcmp.LessEqTol(c, base, 1e-4) {
 			drops = append(drops, idx.Name)
 			keep = without
 			base = c

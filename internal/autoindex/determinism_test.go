@@ -1,0 +1,54 @@
+package autoindex
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSameSeedRunsAreByteIdentical runs the full recommendation pipeline
+// (observe → diagnose → candgen → MCTS → estimate → apply) twice, each time
+// from an identically built database with the same seed, and asserts the
+// runs are indistinguishable: same recommendation, same costs, and
+// byte-identical StateReport.JSON(). This is the regression test behind the
+// mapiterorder/seededrand analyzers — any map-iteration-order or hidden-
+// clock dependence on the recommendation path shows up here as a diff.
+func TestSameSeedRunsAreByteIdentical(t *testing.T) {
+	run := func() (*Recommendation, []byte) {
+		db, reads := readHeavyDB(t)
+		m := New(db, Options{MCTS: mctsFast()})
+		for _, sql := range reads {
+			if err := m.Observe(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec, err := m.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := m.Apply(rec); err != nil {
+			t.Fatal(err)
+		}
+		js, err := m.Report().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec, js
+	}
+
+	rec1, js1 := run()
+	rec2, js2 := run()
+
+	if keys1, keys2 := recKeys(rec1), recKeys(rec2); keys1 != keys2 {
+		t.Fatalf("recommendations differ: %q vs %q", keys1, keys2)
+	}
+	if rec1.BaseCost != rec2.BaseCost || rec1.BestCost != rec2.BestCost {
+		t.Fatalf("costs differ: base %v vs %v, best %v vs %v",
+			rec1.BaseCost, rec2.BaseCost, rec1.BestCost, rec2.BestCost)
+	}
+	if rec1.Evaluations != rec2.Evaluations {
+		t.Fatalf("evaluation counts differ: %d vs %d", rec1.Evaluations, rec2.Evaluations)
+	}
+	if !bytes.Equal(js1, js2) {
+		t.Fatalf("same-seed state reports are not byte-identical:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", js1, js2)
+	}
+}

@@ -1,6 +1,7 @@
 package autoindex
 
 import (
+	"encoding/json"
 	"math"
 
 	"repro/internal/obs"
@@ -88,6 +89,40 @@ type AppliedOutcome struct {
 	MeasuredBenefit float64
 	// Complete marks that the after-measurement has arrived.
 	Complete bool
+}
+
+// MarshalJSON renders the outcome with not-yet-observed measurements (NaN)
+// as null: JSON has no NaN, and encoding/json rejects it outright, which
+// used to make StateReport.JSON() fail for any applied-but-unmeasured
+// recommendation.
+func (o AppliedOutcome) MarshalJSON() ([]byte, error) {
+	type outcomeJSON struct {
+		Round            int64    `json:"round"`
+		Created          int      `json:"created"`
+		Dropped          int      `json:"dropped"`
+		PredictedBenefit float64  `json:"predicted_benefit"`
+		CostBefore       *float64 `json:"cost_before"`
+		CostAfter        *float64 `json:"cost_after"`
+		MeasuredBenefit  *float64 `json:"measured_benefit"`
+		Complete         bool     `json:"complete"`
+	}
+	v := outcomeJSON{
+		Round:            o.Round,
+		Created:          o.Created,
+		Dropped:          o.Dropped,
+		PredictedBenefit: o.PredictedBenefit,
+		Complete:         o.Complete,
+	}
+	if !math.IsNaN(o.CostBefore) {
+		v.CostBefore = &o.CostBefore
+	}
+	if !math.IsNaN(o.CostAfter) {
+		v.CostAfter = &o.CostAfter
+	}
+	if o.Complete && !math.IsNaN(o.MeasuredBenefit) {
+		v.MeasuredBenefit = &o.MeasuredBenefit
+	}
+	return json.Marshal(v)
 }
 
 // ObserveMeasuredCost reports one measured workload cost (e.g. a window's

@@ -101,8 +101,21 @@ type treeMonitor struct {
 	height *obs.Gauge
 }
 
-func (tm *treeMonitor) Split()              { tm.splits.Inc() }
-func (tm *treeMonitor) HeightChanged(h int) { tm.height.Set(float64(h)) }
+// Both hooks guard the receiver so a detached (nil) monitor is a no-op,
+// per the btree.Monitor contract enforced by autoindexlint's nilsafeobs.
+func (tm *treeMonitor) Split() {
+	if tm == nil {
+		return
+	}
+	tm.splits.Inc()
+}
+
+func (tm *treeMonitor) HeightChanged(h int) {
+	if tm == nil {
+		return
+	}
+	tm.height.Set(float64(h))
+}
 
 // monitorIndex installs metric monitors on an index's trees and publishes
 // its current height (no-op when metrics are detached).

@@ -1,0 +1,35 @@
+// Package floatcmp centralizes the epsilon comparisons used on float64
+// cost/benefit values across the pipeline. Costs are sums of per-statement
+// estimates, so two logically equal costs can differ in the last few ulps
+// depending on summation order; exact ==/</<= on them makes tie-breaking
+// (and therefore recommendations) fragile. The relative tolerance of 1e-9
+// matches the ad-hoc comparisons these helpers replaced — the formulas are
+// kept bit-identical so recommendations do not change.
+package floatcmp
+
+// RelEps is the default relative tolerance.
+const RelEps = 1e-9
+
+// Less reports whether a is strictly below b beyond the relative tolerance:
+// a < b*(1-RelEps).
+func Less(a, b float64) bool {
+	return a < b*(1-RelEps)
+}
+
+// LessEq reports whether a is below or within tolerance of b:
+// a <= b*(1+RelEps).
+func LessEq(a, b float64) bool {
+	return a <= b*(1+RelEps)
+}
+
+// LessEqTol is LessEq with an explicit relative tolerance:
+// a <= b*(1+tol).
+func LessEqTol(a, b, tol float64) bool {
+	return a <= b*(1+tol)
+}
+
+// Eq reports whether a and b are equal within the relative tolerance
+// (neither is Less than the other).
+func Eq(a, b float64) bool {
+	return !Less(a, b) && !Less(b, a)
+}

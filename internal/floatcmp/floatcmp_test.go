@@ -1,0 +1,82 @@
+package floatcmp
+
+import "testing"
+
+func TestLess(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1.0, 2.0, true},
+		{2.0, 1.0, false},
+		{1.0, 1.0, false},
+		// Within relative tolerance: not "clearly less".
+		{1.0, 1.0 + 1e-12, false},
+		{1.0 + 1e-12, 1.0, false},
+		// Beyond tolerance.
+		{1.0, 1.0 + 1e-6, true},
+		{0.0, 1e-30, true},
+	}
+	for _, c := range cases {
+		if got := Less(c.a, c.b); got != c.want {
+			t.Errorf("Less(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLessEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1.0, 2.0, true},
+		{2.0, 1.0, false},
+		{1.0, 1.0, true},
+		// Slightly above but within tolerance still counts as a tie.
+		{1.0 + 1e-12, 1.0, true},
+		{1.0 + 1e-6, 1.0, false},
+	}
+	for _, c := range cases {
+		if got := LessEq(c.a, c.b); got != c.want {
+			t.Errorf("LessEq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLessEqTol(t *testing.T) {
+	if !LessEqTol(1.00009, 1.0, 1e-4) {
+		t.Error("LessEqTol(1.00009, 1.0, 1e-4) = false, want true")
+	}
+	if LessEqTol(1.0002, 1.0, 1e-4) {
+		t.Error("LessEqTol(1.0002, 1.0, 1e-4) = true, want false")
+	}
+}
+
+func TestEq(t *testing.T) {
+	if !Eq(1.0, 1.0+1e-12) {
+		t.Error("Eq(1.0, 1.0+1e-12) = false, want true")
+	}
+	if Eq(1.0, 1.1) {
+		t.Error("Eq(1.0, 1.1) = true, want false")
+	}
+}
+
+// TestBitIdenticalToAdHocFormulas pins the helpers to the exact expressions
+// they replaced in mcts and autoindex, so the refactor cannot shift any
+// recommendation tie-break.
+func TestBitIdenticalToAdHocFormulas(t *testing.T) {
+	values := []float64{0, 1e-30, 1e-9, 0.5, 1, 1 + 1e-12, 1 + 1e-9, 1 + 1e-6, 2, 1e9, 1e300}
+	for _, a := range values {
+		for _, b := range values {
+			if Less(a, b) != (a < b*(1-1e-9)) {
+				t.Errorf("Less(%v, %v) diverges from a < b*(1-1e-9)", a, b)
+			}
+			if LessEq(a, b) != (a <= b*(1+1e-9)) {
+				t.Errorf("LessEq(%v, %v) diverges from a <= b*(1+1e-9)", a, b)
+			}
+			if LessEqTol(a, b, 1e-4) != (a <= b*1.0001) {
+				t.Errorf("LessEqTol(%v, %v, 1e-4) diverges from a <= b*1.0001", a, b)
+			}
+		}
+	}
+}

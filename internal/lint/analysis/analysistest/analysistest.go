@@ -1,0 +1,130 @@
+// Package analysistest runs analyzers over fixture packages and checks
+// their diagnostics against `// want "regex"` comments, mirroring the
+// upstream golang.org/x/tools/go/analysis/analysistest contract for the
+// subset this repo uses. Fixture packages live inside the module (under
+// internal/lint/testdata/src/...) so they type-check against the real
+// repro/internal/... packages; `go list ./...` skips testdata directories,
+// which keeps deliberately-buggy fixtures out of ordinary builds.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// wantRe extracts the quoted pattern from a `// want "..."` comment.
+var wantRe = regexp.MustCompile(`//\s*want\s+(".*")`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+// ModuleRoot walks up from the working directory to the enclosing go.mod.
+func ModuleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatalf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// Run loads the fixture packages at the given module-relative directories,
+// applies the analyzer, and fails the test unless the diagnostics exactly
+// match the fixtures' `// want "regex"` comments: every want must be
+// satisfied by a diagnostic on its line, and every diagnostic must be
+// wanted.
+func Run(t *testing.T, a *analysis.Analyzer, relDirs ...string) {
+	t.Helper()
+	root := ModuleRoot(t)
+	patterns := make([]string, len(relDirs))
+	for i, d := range relDirs {
+		patterns[i] = "./" + filepath.ToSlash(d)
+	}
+	pkgs, err := analysis.Load(root, patterns...)
+	if err != nil {
+		t.Fatalf("loading fixtures: %v", err)
+	}
+	if len(pkgs) != len(relDirs) {
+		t.Fatalf("loaded %d packages for %d fixture dirs", len(pkgs), len(relDirs))
+	}
+
+	var wants []expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			wants = append(wants, collectWants(t, pkg.Fset, f)...)
+		}
+	}
+
+	diags, err := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Pos.Filename != w.file || d.Pos.Line != w.line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+// collectWants parses `// want "regex"` comments, attaching each to the
+// line it appears on.
+func collectWants(t *testing.T, fset *token.FileSet, f *ast.File) []expectation {
+	t.Helper()
+	var wants []expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pattern, err := strconv.Unquote(m[1])
+			if err != nil {
+				t.Fatalf("unquoting want comment %q: %v", c.Text, err)
+			}
+			re, err := regexp.Compile(pattern)
+			if err != nil {
+				t.Fatalf("compiling want pattern %q: %v", pattern, err)
+			}
+			pos := fset.Position(c.Pos())
+			wants = append(wants, expectation{file: pos.Filename, line: pos.Line, re: re})
+		}
+	}
+	return wants
+}

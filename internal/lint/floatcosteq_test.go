@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+func TestFloatCostEq(t *testing.T) {
+	analysistest.Run(t, lint.FloatCostEq,
+		"internal/lint/testdata/src/floatcosteq/costmodel",
+	)
+}

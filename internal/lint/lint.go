@@ -1,0 +1,33 @@
+// Package lint hosts the autoindexlint analyzer suite: project-specific
+// static checks that keep the AutoIndex pipeline deterministic
+// (mapiterorder, seededrand), its cost arithmetic hygienic (floatcosteq),
+// and its observability hooks safe to detach (nilsafeobs). The suite runs
+// over the real tree in CI via cmd/autoindexlint and in `go test` via
+// selfcheck_test.go; analyzer semantics are pinned by analysistest fixtures
+// under testdata/src.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+)
+
+// All returns the full analyzer suite in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		MapIterOrder,
+		NilSafeObs,
+		FloatCostEq,
+		SeededRand,
+	}
+}
+
+// stringSet is a tiny helper for analyzer target lists.
+type stringSet map[string]bool
+
+// inTargets reports whether the package's import-path base is in the set.
+// Matching on the base segment lets analysistest fixtures (packages under
+// testdata/src/<analyzer>/<base>) exercise the same code paths as the real
+// repro/internal/<base> packages.
+func inTargets(pkgPath string, set stringSet) bool {
+	return set[analysis.PathBase(pkgPath)]
+}

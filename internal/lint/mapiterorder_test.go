@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+func TestMapIterOrder(t *testing.T) {
+	analysistest.Run(t, lint.MapIterOrder,
+		"internal/lint/testdata/src/mapiterorder/mcts",
+		"internal/lint/testdata/src/mapiterorder/planner",
+	)
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+func TestNilSafeObs(t *testing.T) {
+	analysistest.Run(t, lint.NilSafeObs,
+		"internal/lint/testdata/src/nilsafeobs/obs",
+		"internal/lint/testdata/src/nilsafeobs/engineimpl",
+	)
+}

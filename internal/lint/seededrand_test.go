@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+func TestSeededRand(t *testing.T) {
+	analysistest.Run(t, lint.SeededRand,
+		"internal/lint/testdata/src/seededrand/mcts",
+		"internal/lint/testdata/src/seededrand/baseline",
+	)
+}

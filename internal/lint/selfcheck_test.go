@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+// TestRepoIsLintClean runs the whole analyzer suite over the real tree
+// (`./...` skips testdata, so fixtures stay out). This makes plain
+// `go test ./...` enforce lint-cleanliness, not just the CI step.
+func TestRepoIsLintClean(t *testing.T) {
+	root := analysistest.ModuleRoot(t)
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading repo packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags, err := analysis.Run(pkgs, lint.All())
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("lint violation: %s", d)
+	}
+}

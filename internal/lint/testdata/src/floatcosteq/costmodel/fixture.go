@@ -1,0 +1,27 @@
+// Package costmodel is a floatcosteq fixture: ==/!= between two computed
+// float values is flagged, comparison against a compile-time constant is
+// the allowed unset-default idiom.
+package costmodel
+
+type config struct{ Gamma float64 }
+
+// Flagged: two independently computed costs compared exactly.
+func sameCost(a, b float64) bool {
+	return a == b // want "epsilon comparison"
+}
+
+// Flagged: != is the same trap.
+func costChanged(a, b float64) bool {
+	return a != b // want "epsilon comparison"
+}
+
+// Allowed: comparing a float field against a constant tests "was this
+// set", not cost equality.
+func gammaUnset(c config) bool {
+	return c.Gamma == 0
+}
+
+// Allowed: integer comparison is exact.
+func sameCount(a, b int) bool {
+	return a == b
+}

@@ -1,0 +1,13 @@
+// Package planner is a mapiterorder fixture for a NON-target package: the
+// same patterns that are flagged in recommendation-path packages are
+// allowed here, proving the analyzer's target gating.
+package planner
+
+// Allowed even though unsorted: planner is not on the recommendation path.
+func keysInIterationOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

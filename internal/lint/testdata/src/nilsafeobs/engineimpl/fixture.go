@@ -1,0 +1,30 @@
+// Package engineimpl is a nilsafeobs fixture for the btree.Monitor hook
+// surface: any type whose pointer implements btree.Monitor must guard those
+// methods, whatever package it lives in.
+package engineimpl
+
+import "repro/internal/btree"
+
+type monitor struct {
+	splits int
+	height int
+}
+
+var _ btree.Monitor = (*monitor)(nil)
+
+// Flagged: a Monitor method that dereferences without a guard.
+func (m *monitor) Split() { // want "implements btree.Monitor"
+	m.splits++
+}
+
+// Allowed: guarded.
+func (m *monitor) HeightChanged(h int) {
+	if m == nil {
+		return
+	}
+	m.height = h
+}
+
+// Allowed: not part of the Monitor surface, and engineimpl is not the obs
+// package.
+func (m *monitor) reset() { m.splits = 0 }

@@ -1,0 +1,37 @@
+// Package obs is a nilsafeobs fixture: its import-path base matches the
+// real observability package, so every exported pointer-receiver method
+// must be provably nil-receiver-safe.
+package obs
+
+// Gauge mirrors the shape of an obs metric handle.
+type Gauge struct{ v float64 }
+
+// Allowed: guarded by the canonical first-statement nil check.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.v = v
+}
+
+// Flagged: dereferences the receiver with no guard.
+func (g *Gauge) Add(v float64) { // want "must begin with a nil-receiver guard"
+	g.v += v
+}
+
+// Allowed: the body IS the nil check.
+func (g *Gauge) Enabled() bool { return g != nil }
+
+// Allowed: single delegation to a same-receiver method, which is checked
+// in turn.
+func (g *Gauge) Reset() { g.Set(0) }
+
+// Allowed: value receiver — a nil pointer cannot reach it without the
+// caller dereferencing first.
+func (g Gauge) Value() float64 { return g.v }
+
+// Allowed: unexported methods are outside the contract.
+func (g *Gauge) zero() { g.v = 0 }
+
+// Allowed: the receiver is never used.
+func (*Gauge) Kind() string { return "gauge" }

@@ -1,0 +1,27 @@
+// Package baseline is a seededrand fixture for a package that may measure
+// wall-clock time (it reports durations) but must still seed its
+// randomness explicitly.
+package baseline
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Allowed: duration measurement is legitimate outside estimation code.
+func measure(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// Flagged: deriving the seed from the clock defeats reproducibility even
+// where time.Now itself is allowed.
+func timeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeding rand from time.Now"
+}
+
+// Allowed: config-threaded seed.
+func configSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

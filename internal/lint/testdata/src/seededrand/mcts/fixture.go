@@ -1,0 +1,24 @@
+// Package mcts is a seededrand fixture for a search package: the global
+// math/rand source and any wall-clock use are forbidden.
+package mcts
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: the package-level rand functions share the global source.
+func rollGlobal(n int) int {
+	return rand.Intn(n) // want "global math/rand source"
+}
+
+// Allowed: an explicitly seeded source threaded from config.
+func rollSeeded(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+// Flagged: wall-clock time inside estimation code.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now in estimation code"
+}

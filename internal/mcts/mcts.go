@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/floatcmp"
 	"repro/internal/obs"
 )
 
@@ -181,10 +182,10 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 	// better prefers clearly lower cost; on (near-)ties it prefers the
 	// smaller configuration, so cost-neutral indexes never join the result.
 	better := func(cost float64, size int64) bool {
-		if cost < bestCost*(1-1e-9) {
+		if floatcmp.Less(cost, bestCost) {
 			return true
 		}
-		return cost <= bestCost*(1+1e-9) && size < best.size
+		return floatcmp.LessEq(cost, bestCost) && size < best.size
 	}
 
 	for i := 0; i < cfg.Iterations; i++ {
@@ -246,18 +247,16 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 	cfg.Span.SetAttr("best_cost", bestCost)
 	initial := keySet(existing)
 	final := keySet(best.indexes)
-	for k := range final {
+	for _, k := range sortedKeys(final) {
 		if !initial[k] {
 			res.AddedKeys = append(res.AddedKeys, k)
 		}
 	}
-	for k := range initial {
+	for _, k := range sortedKeys(initial) {
 		if !final[k] {
 			res.RemovedKeys = append(res.RemovedKeys, k)
 		}
 	}
-	sort.Strings(res.AddedKeys)
-	sort.Strings(res.RemovedKeys)
 	return res, nil
 }
 
@@ -479,6 +478,16 @@ func keySet(indexes []*catalog.IndexMeta) map[string]bool {
 		out[m.Key()] = true
 	}
 	return out
+}
+
+// sortedKeys drains a key set in deterministic order.
+func sortedKeys(set map[string]bool) []string {
+	keys := make([]string, 0, len(set))
+	for k := range set {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // setKey canonically identifies a configuration for caching.

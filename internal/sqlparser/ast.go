@@ -443,7 +443,10 @@ func (s *CreateTableStmt) String() string {
 		b.WriteString(c.Name + " " + c.Type.String())
 	}
 	if len(s.PrimaryKey) > 0 {
-		b.WriteString(", PRIMARY KEY (" + strings.Join(s.PrimaryKey, ", ") + ")")
+		if len(s.Columns) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("PRIMARY KEY (" + strings.Join(s.PrimaryKey, ", ") + ")")
 	}
 	b.WriteString(")")
 	if s.Partitions > 0 {

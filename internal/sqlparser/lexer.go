@@ -3,7 +3,6 @@ package sqlparser
 import (
 	"fmt"
 	"strings"
-	"unicode"
 )
 
 type tokenKind uint8
@@ -171,10 +170,15 @@ func (l *lexer) lexSymbol() (token, error) {
 func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
 func isDigit(c byte) bool { return c >= '0' && c <= '9' }
 
+// Identifiers are ASCII-only. Treating bytes as runes here used to admit
+// stray non-ASCII bytes as "letters" (unicode.IsLetter(rune(c)) is true for
+// any byte >= 0x80 whose Latin-1 interpretation is a letter), and
+// strings.ToLower then rewrote the invalid UTF-8 to U+FFFD, so the lexed
+// identifier no longer matched the input (found by FuzzParse).
 func isIdentStart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c))
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
 }
 
 func isIdentPart(c byte) bool {
-	return c == '_' || unicode.IsLetter(rune(c)) || isDigit(c)
+	return isIdentStart(c) || isDigit(c)
 }

@@ -40,10 +40,27 @@ func MustParse(sql string) Statement {
 }
 
 type parser struct {
-	toks []token
-	pos  int
-	src  string
+	toks  []token
+	pos   int
+	src   string
+	depth int
 }
+
+// maxParseDepth bounds recursion through nested expressions, subqueries,
+// NOT/unary chains, and EXPLAIN prefixes. Adversarial inputs like a long
+// run of "(" otherwise recurse once per byte and can exhaust the stack
+// (found by FuzzParse); real workload SQL nests a handful of levels.
+const maxParseDepth = 512
+
+func (p *parser) enter() error {
+	p.depth++
+	if p.depth > maxParseDepth {
+		return fmt.Errorf("sqlparser: nesting exceeds %d levels", maxParseDepth)
+	}
+	return nil
+}
+
+func (p *parser) leave() { p.depth-- }
 
 func (p *parser) peek() token    { return p.toks[p.pos] }
 func (p *parser) advance() token { t := p.toks[p.pos]; p.pos++; return t }
@@ -106,6 +123,10 @@ func (p *parser) expectIdent() (string, error) {
 }
 
 func (p *parser) parseStatement() (Statement, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	t := p.peek()
 	if t.kind != tokKeyword {
 		return nil, p.errorf("expected statement keyword, got %q", t.text)
@@ -136,6 +157,10 @@ func (p *parser) parseStatement() (Statement, error) {
 }
 
 func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if err := p.expectKeyword("SELECT"); err != nil {
 		return nil, err
 	}
@@ -601,7 +626,13 @@ func (p *parser) parseDrop() (*DropIndexStmt, error) {
 // Expression parsing: precedence climbing.
 // OR < AND < NOT < comparison < additive < multiplicative < unary < primary.
 
-func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+func (p *parser) parseExpr() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
+	return p.parseOr()
+}
 
 func (p *parser) parseOr() (Expr, error) {
 	left, err := p.parseAnd()
@@ -634,6 +665,10 @@ func (p *parser) parseAnd() (Expr, error) {
 }
 
 func (p *parser) parseNot() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.acceptKeyword("NOT") {
 		e, err := p.parseNot()
 		if err != nil {
@@ -776,6 +811,10 @@ func (p *parser) parseMultiplicative() (Expr, error) {
 }
 
 func (p *parser) parseUnary() (Expr, error) {
+	if err := p.enter(); err != nil {
+		return nil, err
+	}
+	defer p.leave()
 	if p.acceptSymbol("-") {
 		e, err := p.parseUnary()
 		if err != nil {
@@ -787,7 +826,14 @@ func (p *parser) parseUnary() (Expr, error) {
 			case sqltypes.KindInt:
 				return &Literal{Value: sqltypes.NewInt(-v.Int)}, nil
 			case sqltypes.KindFloat:
-				return &Literal{Value: sqltypes.NewFloat(-v.Float)}, nil
+				f := -v.Float
+				if f == 0 {
+					// Fold -0.0 to +0.0: strconv renders negative zero as
+					// "-0", which re-lexes as an integer and would break
+					// render/reparse stability (found by FuzzParse).
+					f = 0
+				}
+				return &Literal{Value: sqltypes.NewFloat(f)}, nil
 			}
 		}
 		return &BinaryExpr{Op: OpSub, L: &Literal{Value: sqltypes.NewInt(0)}, R: e}, nil
