@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 // BenchmarkFig5TPCC1x reproduces Fig. 5(a)(d): TPC-C1x latency/throughput.
@@ -26,6 +27,12 @@ func BenchmarkFig5TPCC10x(b *testing.B) { benchFig5(b, 10) }
 func BenchmarkFig5TPCC100x(b *testing.B) { benchFig5(b, 100) }
 
 func benchFig5(b *testing.B, scale int) {
+	// Managers instrument themselves into the process-wide registry when one
+	// is installed; install one so the bench can report the cache hit rate.
+	if obs.DefaultRegistry() == nil {
+		obs.SetDefaultRegistry(obs.NewRegistry())
+	}
+	hits0, misses0 := whatifCacheCounters()
 	for i := 0; i < b.N; i++ {
 		p := experiments.DefaultFig5Params(scale)
 		res, err := experiments.Fig5TPCC(p)
@@ -37,6 +44,21 @@ func benchFig5(b *testing.B, scale int) {
 			b.ReportMetric(r.Throughput(), r.Method+"_tput")
 		}
 	}
+	// The what-if fast path is the experiment's dominant cost; surface its
+	// per-query cache hit rate so regressions show up in the bench output.
+	hits1, misses1 := whatifCacheCounters()
+	if total := (hits1 - hits0) + (misses1 - misses0); total > 0 {
+		b.ReportMetric(float64(hits1-hits0)/float64(total), "whatif-hit-rate")
+	}
+}
+
+// whatifCacheCounters reads the estimator's cumulative cache counters from the
+// process-wide registry every autoindex.Manager instruments itself into.
+func whatifCacheCounters() (hits, misses int64) {
+	snap := obs.DefaultRegistry().Snapshot()
+	hits, _ = snap["costmodel_whatif_cache_hits_total"].(int64)
+	misses, _ = snap["costmodel_whatif_cache_misses_total"].(int64)
+	return hits, misses
 }
 
 // BenchmarkTable1AddedIndexes reproduces Table I: the index sets Greedy and

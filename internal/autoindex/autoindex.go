@@ -48,8 +48,10 @@ type Options struct {
 	StalenessWindow  int64
 	StalenessTrigger float64
 	// EstimatorParallelism > 1 plans workload templates concurrently during
-	// what-if estimation. Off by default: parallel float summation is not
-	// bit-reproducible, and the experiments pin exact determinism.
+	// what-if estimation. Results are written into an index-ordered slice
+	// and summed in query order, so totals are bit-identical to the serial
+	// path at any worker count — safe to enable under the determinism
+	// contract.
 	EstimatorParallelism int
 	// UseForecast makes tuning rounds weight templates by their EWMA trend
 	// (predicted next-window mix, paper §IV-C) instead of cumulative
@@ -107,6 +109,7 @@ func New(db *engine.DB, opts Options) *Manager {
 	opts = opts.withDefaults()
 	est := costmodel.NewEstimator(db.Catalog())
 	est.Parallelism = opts.EstimatorParallelism
+	est.Instrument(obs.DefaultRegistry())
 	return &Manager{
 		db:               db,
 		opts:             opts,
@@ -210,6 +213,9 @@ type Recommendation struct {
 	CandidateCount int
 	// Evaluations counts estimator configuration evaluations in MCTS.
 	Evaluations int
+	// MCTSCacheHits counts configuration evaluations the search answered
+	// from its whole-set cost cache instead of calling the estimator.
+	MCTSCacheHits int
 	// Duration is the wall-clock tuning time (management overhead metric).
 	Duration time.Duration
 	// TemplatesUsed is the number of templates the workload compressed to.
@@ -223,7 +229,7 @@ type Recommendation struct {
 func (m *Manager) Recommend() (*Recommendation, error) {
 	round := m.startRound("recommend")
 	defer round.End()
-	return m.recommendSpanned(m.roundWorkload(), round)
+	return m.recommendSpanned(m.spannedRoundWorkload(round), round)
 }
 
 // roundWorkload picks the workload a tuning round prices against.
@@ -302,6 +308,7 @@ func (m *Manager) recommendSpanned(w *workload.Workload, round *obs.Span) (*Reco
 		BestCost:         res.BestCost,
 		CandidateCount:   len(pool),
 		Evaluations:      res.Evaluations,
+		MCTSCacheHits:    res.CacheHits,
 		TemplatesUsed:    len(w.Queries),
 	}
 	// Map diff keys back to specs/names.
@@ -496,7 +503,7 @@ func (m *Manager) Tune(force bool) (*Recommendation, error) {
 			return nil, nil
 		}
 	}
-	rec, err := m.recommendSpanned(m.roundWorkload(), round)
+	rec, err := m.recommendSpanned(m.spannedRoundWorkload(round), round)
 	if err != nil {
 		return nil, err
 	}
@@ -504,6 +511,16 @@ func (m *Manager) Tune(force bool) (*Recommendation, error) {
 		return nil, err
 	}
 	return rec, nil
+}
+
+// spannedRoundWorkload materializes the round's workload under its own
+// child span, keeping the tuning-round trace's child coverage tight.
+func (m *Manager) spannedRoundWorkload(round *obs.Span) *workload.Workload {
+	span := m.childOrRoot(round, "workload")
+	w := m.roundWorkload()
+	span.SetAttr("templates", len(w.Queries))
+	span.End()
+	return w
 }
 
 // MaybeDecayTemplates applies the paper's workload-shift handling: when most

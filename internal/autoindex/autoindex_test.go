@@ -12,7 +12,7 @@ import (
 )
 
 // readHeavyDB builds a database with a clear index opportunity.
-func readHeavyDB(t *testing.T) (*engine.DB, []string) {
+func readHeavyDB(t testing.TB) (*engine.DB, []string) {
 	t.Helper()
 	db := engine.New()
 	if _, err := db.Exec("CREATE TABLE ev (id BIGINT, user_id BIGINT, kind TEXT, score DOUBLE, PRIMARY KEY (id))"); err != nil {

@@ -1,0 +1,52 @@
+package autoindex
+
+import (
+	"testing"
+)
+
+// BenchmarkMCTSSearchEvaluations benchmarks one full tuning round (observe →
+// candgen → MCTS → freeloader pruning) and reports how the two-level what-if
+// cache carries it: est-hit-rate is the per-query cost cache's hit fraction,
+// mcts-hit-rate the whole-configuration cache's, evals/round the estimator
+// evaluations MCTS actually paid for.
+func BenchmarkMCTSSearchEvaluations(b *testing.B) {
+	var evals, estHits, estMisses int64
+	var mctsHits, mctsEvals int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		db, reads := readHeavyDB(b)
+		m := New(db, Options{MCTS: mctsFast()})
+		for _, sql := range reads {
+			if err := m.Observe(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StartTimer()
+		rec, err := m.Recommend()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if len(rec.Create) == 0 {
+			b.Fatal("read-heavy workload must yield a recommendation")
+		}
+		evals += int64(rec.Evaluations)
+		h, ms, _ := m.Estimator().CacheStats()
+		estHits += h
+		estMisses += ms
+		mctsEvals += rec.Evaluations
+		mctsHits += rec.MCTSCacheHits
+		b.StartTimer()
+	}
+	b.StopTimer()
+	if n := float64(b.N); n > 0 {
+		b.ReportMetric(float64(evals)/n, "evals/round")
+	}
+	if total := estHits + estMisses; total > 0 {
+		b.ReportMetric(float64(estHits)/float64(total), "est-hit-rate")
+	}
+	if total := mctsHits + mctsEvals; total > 0 {
+		b.ReportMetric(float64(mctsHits)/float64(total), "mcts-hit-rate")
+	}
+}

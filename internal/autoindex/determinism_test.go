@@ -6,16 +6,20 @@ import (
 )
 
 // TestSameSeedRunsAreByteIdentical runs the full recommendation pipeline
-// (observe → diagnose → candgen → MCTS → estimate → apply) twice, each time
-// from an identically built database with the same seed, and asserts the
-// runs are indistinguishable: same recommendation, same costs, and
-// byte-identical StateReport.JSON(). This is the regression test behind the
-// mapiterorder/seededrand analyzers — any map-iteration-order or hidden-
-// clock dependence on the recommendation path shows up here as a diff.
+// (observe → diagnose → candgen → MCTS → estimate → apply) from an
+// identically built database with the same seed under four estimator
+// configurations — {cache on, cache off} × {serial, Parallelism 4} — and
+// asserts every run is indistinguishable: same recommendation, same costs,
+// same evaluation counts, and byte-identical StateReport.JSON(). This is
+// the regression test behind the mapiterorder/seededrand analyzers and the
+// what-if fast path: any map-iteration-order dependence, hidden clock, float
+// reassociation in the parallel reduction, or stale cache entry shows up
+// here as a diff.
 func TestSameSeedRunsAreByteIdentical(t *testing.T) {
-	run := func() (*Recommendation, []byte) {
+	run := func(parallelism int, cacheDisabled bool) (*Recommendation, []byte) {
 		db, reads := readHeavyDB(t)
-		m := New(db, Options{MCTS: mctsFast()})
+		m := New(db, Options{MCTS: mctsFast(), EstimatorParallelism: parallelism})
+		m.Estimator().CacheDisabled = cacheDisabled
 		for _, sql := range reads {
 			if err := m.Observe(sql); err != nil {
 				t.Fatal(err)
@@ -35,20 +39,33 @@ func TestSameSeedRunsAreByteIdentical(t *testing.T) {
 		return rec, js
 	}
 
-	rec1, js1 := run()
-	rec2, js2 := run()
+	variants := []struct {
+		name          string
+		parallelism   int
+		cacheDisabled bool
+	}{
+		{"serial_cached", 1, false},
+		{"serial_uncached", 1, true},
+		{"parallel4_cached", 4, false},
+		{"parallel4_uncached", 4, true},
+	}
 
-	if keys1, keys2 := recKeys(rec1), recKeys(rec2); keys1 != keys2 {
-		t.Fatalf("recommendations differ: %q vs %q", keys1, keys2)
-	}
-	if rec1.BaseCost != rec2.BaseCost || rec1.BestCost != rec2.BestCost {
-		t.Fatalf("costs differ: base %v vs %v, best %v vs %v",
-			rec1.BaseCost, rec2.BaseCost, rec1.BestCost, rec2.BestCost)
-	}
-	if rec1.Evaluations != rec2.Evaluations {
-		t.Fatalf("evaluation counts differ: %d vs %d", rec1.Evaluations, rec2.Evaluations)
-	}
-	if !bytes.Equal(js1, js2) {
-		t.Fatalf("same-seed state reports are not byte-identical:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", js1, js2)
+	rec1, js1 := run(variants[0].parallelism, variants[0].cacheDisabled)
+	for _, v := range variants {
+		// Variant 0 reruns against itself: same-seed stability.
+		rec2, js2 := run(v.parallelism, v.cacheDisabled)
+		if keys1, keys2 := recKeys(rec1), recKeys(rec2); keys1 != keys2 {
+			t.Fatalf("%s: recommendations differ: %q vs %q", v.name, keys1, keys2)
+		}
+		if rec1.BaseCost != rec2.BaseCost || rec1.BestCost != rec2.BestCost {
+			t.Fatalf("%s: costs differ: base %v vs %v, best %v vs %v",
+				v.name, rec1.BaseCost, rec2.BaseCost, rec1.BestCost, rec2.BestCost)
+		}
+		if rec1.Evaluations != rec2.Evaluations {
+			t.Fatalf("%s: evaluation counts differ: %d vs %d", v.name, rec1.Evaluations, rec2.Evaluations)
+		}
+		if !bytes.Equal(js1, js2) {
+			t.Fatalf("%s: state reports are not byte-identical:\n--- baseline ---\n%s\n--- %s ---\n%s", v.name, js1, v.name, js2)
+		}
 	}
 }

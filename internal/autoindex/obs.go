@@ -43,6 +43,7 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 func (m *Manager) Instrument(reg *obs.Registry, tracer *obs.Tracer) {
 	m.metrics = newManagerMetrics(reg)
 	m.tracer = tracer
+	m.estimator.Instrument(reg)
 }
 
 // Registry returns the manager's metrics registry (nil when off).

@@ -123,6 +123,12 @@ func (t *Table) ColumnNames() []string {
 type Catalog struct {
 	tables  map[string]*Table
 	indexes map[string]*IndexMeta // by index name
+	// generation counts mutations that can change what-if planning output:
+	// DDL on real objects and statistics refreshes. Cached plan costs are
+	// valid only within one generation. Hypothetical (what-if) index churn
+	// does not bump it — a pinned configuration is part of the cache key,
+	// not a catalog mutation.
+	generation uint64
 }
 
 // New creates an empty catalog.
@@ -132,6 +138,15 @@ func New() *Catalog {
 		indexes: make(map[string]*IndexMeta),
 	}
 }
+
+// Generation identifies the current schema/statistics version. Any cost
+// computed from the catalog is stale once Generation changes.
+func (c *Catalog) Generation() uint64 { return c.generation }
+
+// BumpGeneration marks a schema or statistics mutation, invalidating every
+// externally cached cost. The engine calls it on writes, ANALYZE and index
+// (re)builds; catalog DDL on real objects bumps it internally.
+func (c *Catalog) BumpGeneration() { c.generation++ }
 
 // CreateTable registers a table. Column order defines tuple layout.
 func (c *Catalog) CreateTable(name string, cols []Column, pk []string) (*Table, error) {
@@ -162,6 +177,7 @@ func (c *Catalog) CreateTable(name string, cols []Column, pk []string) (*Table, 
 		t.PrimaryKey = append(t.PrimaryKey, k)
 	}
 	c.tables[name] = t
+	c.generation++
 	return t, nil
 }
 
@@ -200,16 +216,23 @@ func (c *Catalog) AddIndex(m *IndexMeta) error {
 		}
 	}
 	c.indexes[m.Name] = m
+	if !m.Hypothetical {
+		c.generation++
+	}
 	return nil
 }
 
 // DropIndex removes index metadata by name.
 func (c *Catalog) DropIndex(name string) error {
 	name = strings.ToLower(name)
-	if _, ok := c.indexes[name]; !ok {
+	m, ok := c.indexes[name]
+	if !ok {
 		return fmt.Errorf("catalog: index %q does not exist", name)
 	}
 	delete(c.indexes, name)
+	if !m.Hypothetical {
+		c.generation++
+	}
 	return nil
 }
 

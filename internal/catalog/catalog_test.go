@@ -184,3 +184,46 @@ func TestIndexKeyIdentity(t *testing.T) {
 		t.Error("column order must distinguish identity keys")
 	}
 }
+
+// TestGenerationCountsRealMutationsOnly pins the invalidation signal the
+// what-if cost cache keys on: real DDL bumps the generation, while
+// hypothetical index churn (what-if evaluation) never does — otherwise the
+// cache would flush itself mid-evaluation.
+func TestGenerationCountsRealMutationsOnly(t *testing.T) {
+	c, _ := testTable(t)
+	gen := c.Generation()
+	if gen == 0 {
+		t.Fatal("CreateTable must bump the generation")
+	}
+
+	hypo := &IndexMeta{Name: "whatif_x", Table: "orders", Columns: []string{"cid"}, Hypothetical: true}
+	if err := c.AddIndex(hypo); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropIndex("whatif_x"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() != gen {
+		t.Errorf("hypothetical add/drop changed generation: %d -> %d", gen, c.Generation())
+	}
+
+	real := &IndexMeta{Name: "idx_real", Table: "orders", Columns: []string{"cid"}}
+	if err := c.AddIndex(real); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() <= gen {
+		t.Error("real AddIndex must bump the generation")
+	}
+	gen = c.Generation()
+	if err := c.DropIndex("idx_real"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Generation() <= gen {
+		t.Error("real DropIndex must bump the generation")
+	}
+	gen = c.Generation()
+	c.BumpGeneration()
+	if c.Generation() != gen+1 {
+		t.Error("BumpGeneration must increment by one")
+	}
+}

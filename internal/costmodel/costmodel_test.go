@@ -112,7 +112,7 @@ func TestCrossValidate(t *testing.T) {
 }
 
 // liveDB builds an engine DB for estimator integration tests.
-func liveDB(t *testing.T) *engine.DB {
+func liveDB(t testing.TB) *engine.DB {
 	t.Helper()
 	db := engine.New()
 	stmts := []string{
@@ -310,7 +310,19 @@ func TestParallelWorkloadCostMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(serial-parallel) > 1e-6 {
-		t.Errorf("parallel estimate diverged: serial=%.6f parallel=%.6f", serial, parallel)
+	// Bit-identical, not approximately equal: workers fill an index-ordered
+	// slice and the reduction sums in query order, so scheduling cannot
+	// perturb float associativity.
+	if math.Float64bits(serial) != math.Float64bits(parallel) {
+		t.Errorf("parallel estimate diverged: serial=%v parallel=%v", serial, parallel)
+	}
+	// Same contract with the per-query cache disabled.
+	est.CacheDisabled = true
+	uncachedPar, err := est.WorkloadCost(w, []*catalog.IndexMeta{spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Float64bits(serial) != math.Float64bits(uncachedPar) {
+		t.Errorf("uncached parallel diverged: serial=%v parallel=%v", serial, uncachedPar)
 	}
 }

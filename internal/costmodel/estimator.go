@@ -2,9 +2,13 @@ package costmodel
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/catalog"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/sqlparser"
 	"repro/internal/workload"
@@ -15,6 +19,14 @@ import (
 // regression model. It never builds an index: candidate indexes are
 // registered hypothetically and existing indexes are hidden via the
 // catalog's Disabled flag for the duration of one estimate.
+//
+// WorkloadCost runs through a per-query atomic-configuration cost cache
+// (CoPhy-style): a query's plan can only depend on the indexes sitting on
+// the tables it references, so its cost is cached under the key
+// (template SQL, relevant-index-subset) and reused across every
+// configuration that agrees on those tables. MCTS evaluates hundreds of
+// configurations differing by one index; all queries not touching that
+// index's table hit the cache.
 type Estimator struct {
 	cat   *catalog.Catalog
 	model *Regression
@@ -28,8 +40,39 @@ type Estimator struct {
 	// WorkloadCost (the paper leans on parallelized search [23]; here the
 	// estimator's per-template planning is the parallelizable unit — the
 	// catalog is read-only while a configuration is pinned). 0/1 = serial.
+	// Workers write per-query results into an index-ordered slice and the
+	// reduction sums in query order, so the total is bit-identical to the
+	// serial sum at any worker count.
 	Parallelism int
+	// CacheDisabled turns the per-query cost cache off (ablation and
+	// equivalence-testing knob); every query re-plans on every call.
+	CacheDisabled bool
+
+	mu sync.RWMutex
+	// cache maps "templateSQL \x00 relevantSubsetKey" → query cost.
+	cache map[string]float64
+	// tables memoizes sqlparser.ReferencedTables per template SQL.
+	tables map[string][]string
+	epoch  cacheEpoch
+	hits, misses, flushes int64
+	// Instruments are nil when detached; obs instruments are nil-safe.
+	mHits, mMisses, mFlushes *obs.Counter
+	mSize                    *obs.Gauge
 }
+
+// cacheEpoch captures everything outside the cache key that a cached cost
+// depends on. Any change flushes the cache.
+type cacheEpoch struct {
+	catalogGen   uint64 // schema + statistics version (bumped by engine writes/ANALYZE/DDL)
+	modelGen     uint64 // regression retraining version
+	static       bool   // UseStatic knob
+	ignoreWrites bool   // IgnoreWriteCosts knob
+	initialized  bool
+}
+
+// maxCacheEntries bounds the cost cache; beyond it new entries are simply
+// not inserted (correct, just slower) until the next epoch flush.
+const maxCacheEntries = 1 << 16
 
 // NewEstimator creates an estimator over the catalog with an untrained
 // model (predictions fall back to the static formula until Train is called).
@@ -40,8 +83,66 @@ func NewEstimator(cat *catalog.Catalog) *Estimator {
 // Model exposes the underlying regression model.
 func (e *Estimator) Model() *Regression { return e.model }
 
-// Train fits the regression model on logged samples.
+// Train fits the regression model on logged samples. A successful fit bumps
+// the model generation, flushing the per-query cost cache on next use.
 func (e *Estimator) Train(samples []Sample) error { return e.model.Fit(samples) }
+
+// Instrument attaches (or with nil detaches) a metrics registry: the
+// what-if cache exports costmodel_whatif_cache_{hits,misses,invalidations}
+// counters and a costmodel_whatif_cache_size gauge. Registry methods and
+// the resulting instruments are nil-safe, so a nil registry just detaches.
+func (e *Estimator) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		e.mHits, e.mMisses, e.mFlushes, e.mSize = nil, nil, nil, nil
+		return
+	}
+	e.mHits = reg.Counter("costmodel_whatif_cache_hits_total", "Per-query what-if cost cache hits")
+	e.mMisses = reg.Counter("costmodel_whatif_cache_misses_total", "Per-query what-if cost cache misses")
+	e.mFlushes = reg.Counter("costmodel_whatif_cache_invalidations_total", "Per-query what-if cost cache flushes (stats/model/knob changes)")
+	e.mSize = reg.Gauge("costmodel_whatif_cache_size", "Per-query what-if cost cache entries")
+}
+
+// CacheStats reports cumulative per-query cache hits and misses plus the
+// current entry count.
+func (e *Estimator) CacheStats() (hits, misses int64, size int) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.hits, e.misses, len(e.cache)
+}
+
+// FlushCache drops every cached per-query cost.
+func (e *Estimator) FlushCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.flushCacheLocked()
+}
+
+func (e *Estimator) flushCacheLocked() {
+	if len(e.cache) > 0 {
+		e.flushes++
+		e.mFlushes.Inc()
+	}
+	e.cache = make(map[string]float64)
+	e.mSize.Set(0)
+}
+
+// revalidate flushes the cache when the catalog generation, the model
+// generation, or an ablation knob changed since it was filled.
+func (e *Estimator) revalidate() {
+	cur := cacheEpoch{
+		catalogGen:   e.cat.Generation(),
+		modelGen:     e.model.Generation(),
+		static:       e.UseStatic,
+		ignoreWrites: e.IgnoreWriteCosts,
+		initialized:  true,
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.cache == nil || cur != e.epoch {
+		e.flushCacheLocked()
+		e.epoch = cur
+	}
+}
 
 // ComputeFeatures plans one statement under the catalog's current (possibly
 // hypothetical) index configuration and extracts the paper's cost features.
@@ -50,21 +151,13 @@ func (e *Estimator) ComputeFeatures(stmt sqlparser.Statement) (Features, error) 
 	case *sqlparser.SelectStmt:
 		// Plan a deep copy: planning mutates expressions (name resolution),
 		// and the same template is re-planned under many configurations.
-		cp, err := reparse(s)
-		if err != nil {
-			return Features{}, err
-		}
-		plan, err := planner.PlanSelect(e.cat, cp)
+		plan, err := planner.PlanSelect(e.cat, s.CloneSelect())
 		if err != nil {
 			return Features{}, err
 		}
 		return Features{CData: plan.EstCost()}, nil
 	case *sqlparser.InsertStmt, *sqlparser.UpdateStmt, *sqlparser.DeleteStmt:
-		cp, err := reparseStmt(stmt)
-		if err != nil {
-			return Features{}, err
-		}
-		wp, err := planner.PlanWrite(e.cat, cp)
+		wp, err := planner.PlanWrite(e.cat, stmt.Clone())
 		if err != nil {
 			return Features{}, err
 		}
@@ -79,23 +172,6 @@ func (e *Estimator) ComputeFeatures(stmt sqlparser.Statement) (Features, error) 
 	default:
 		return Features{}, fmt.Errorf("costmodel: unsupported statement %T", stmt)
 	}
-}
-
-// reparse deep-copies a SELECT via its SQL round trip.
-func reparse(s *sqlparser.SelectStmt) (*sqlparser.SelectStmt, error) {
-	stmt, err := sqlparser.Parse(s.String())
-	if err != nil {
-		return nil, fmt.Errorf("costmodel: re-parse: %w", err)
-	}
-	return stmt.(*sqlparser.SelectStmt), nil
-}
-
-func reparseStmt(s sqlparser.Statement) (sqlparser.Statement, error) {
-	stmt, err := sqlparser.Parse(s.String())
-	if err != nil {
-		return nil, fmt.Errorf("costmodel: re-parse: %w", err)
-	}
-	return stmt, nil
 }
 
 // QueryCost estimates one statement's cost under the current configuration.
@@ -122,13 +198,18 @@ func (e *Estimator) WorkloadCost(w *workload.Workload, active []*catalog.IndexMe
 	}
 	defer restore()
 
+	var lookup *configLookup
+	if !e.CacheDisabled {
+		e.revalidate()
+		lookup = newConfigLookup(active)
+	}
 	if e.Parallelism > 1 && len(w.Queries) > 1 {
-		return e.parallelWorkloadCost(w)
+		return e.parallelWorkloadCost(w, lookup)
 	}
 	var total float64
 	for i := range w.Queries {
 		q := &w.Queries[i]
-		cost, err := e.QueryCost(q.Stmt)
+		cost, err := e.queryCost(q, lookup)
 		if err != nil {
 			return 0, fmt.Errorf("costmodel: query %q: %w", q.SQL, err)
 		}
@@ -137,19 +218,73 @@ func (e *Estimator) WorkloadCost(w *workload.Workload, active []*catalog.IndexMe
 	return total, nil
 }
 
+// queryCost prices one workload query, consulting the per-query cache when
+// a configuration lookup is supplied. The cached value is the unweighted
+// model cost — weights are applied by the caller, so evolving template
+// frequencies never invalidate entries.
+func (e *Estimator) queryCost(q *workload.Query, lookup *configLookup) (float64, error) {
+	if lookup == nil {
+		return e.QueryCost(q.Stmt)
+	}
+	key := q.SQL + "\x00" + lookup.subsetKey(e.tablesOf(q))
+	e.mu.RLock()
+	c, ok := e.cache[key]
+	e.mu.RUnlock()
+	if ok {
+		e.mu.Lock()
+		e.hits++
+		e.mu.Unlock()
+		e.mHits.Inc()
+		return c, nil
+	}
+	c, err := e.QueryCost(q.Stmt)
+	if err != nil {
+		return 0, err
+	}
+	e.mu.Lock()
+	e.misses++
+	if len(e.cache) < maxCacheEntries {
+		e.cache[key] = c
+	}
+	size := len(e.cache)
+	e.mu.Unlock()
+	e.mMisses.Inc()
+	e.mSize.Set(float64(size))
+	return c, nil
+}
+
+// tablesOf returns (memoized) the base tables a query references.
+func (e *Estimator) tablesOf(q *workload.Query) []string {
+	e.mu.RLock()
+	t, ok := e.tables[q.SQL]
+	e.mu.RUnlock()
+	if ok {
+		return t
+	}
+	t = sqlparser.ReferencedTables(q.Stmt)
+	e.mu.Lock()
+	if e.tables == nil {
+		e.tables = make(map[string][]string)
+	}
+	e.tables[q.SQL] = t
+	e.mu.Unlock()
+	return t
+}
+
 // parallelWorkloadCost fans per-query planning across workers. The catalog
 // is read-only for the duration (the configuration is pinned by the caller)
-// and each query plans a fresh re-parse, so workers share no mutable state.
-func (e *Estimator) parallelWorkloadCost(w *workload.Workload) (float64, error) {
+// and each cache miss plans a fresh clone, so workers share no mutable
+// state beyond the mutex-guarded cache. Each worker writes its result into
+// the query's slot and the reduction sums in query order — the total is
+// bit-identical to the serial path regardless of scheduling. Errors keep
+// first-error semantics in query order.
+func (e *Estimator) parallelWorkloadCost(w *workload.Workload, lookup *configLookup) (float64, error) {
 	workers := e.Parallelism
 	if workers > len(w.Queries) {
 		workers = len(w.Queries)
 	}
-	var (
-		mu    sync.Mutex
-		total float64
-		first error
-	)
+	costs := make([]float64, len(w.Queries))
+	errs := make([]error, len(w.Queries))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for k := 0; k < workers; k++ {
@@ -157,14 +292,7 @@ func (e *Estimator) parallelWorkloadCost(w *workload.Workload) (float64, error) 
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				q := &w.Queries[i]
-				cost, err := e.QueryCost(q.Stmt)
-				mu.Lock()
-				if err != nil && first == nil {
-					first = fmt.Errorf("costmodel: query %q: %w", q.SQL, err)
-				}
-				total += cost * q.Weight
-				mu.Unlock()
+				costs[i], errs[i] = e.queryCost(&w.Queries[i], lookup)
 			}
 		}()
 	}
@@ -173,10 +301,92 @@ func (e *Estimator) parallelWorkloadCost(w *workload.Workload) (float64, error) 
 	}
 	close(jobs)
 	wg.Wait()
-	if first != nil {
-		return 0, first
+	for i := range w.Queries {
+		if errs[i] != nil {
+			return 0, fmt.Errorf("costmodel: query %q: %w", w.Queries[i].SQL, errs[i])
+		}
+	}
+	var total float64
+	for i := range w.Queries {
+		total += costs[i] * w.Queries[i].Weight
 	}
 	return total, nil
+}
+
+// configLookup resolves, for one pinned configuration, the canonical cache
+// key of the index subset relevant to a set of tables. Atom keys carry the
+// planner-visible index statistics, so two same-named hypothetical specs
+// with different size estimates never collide.
+type configLookup struct {
+	byTable map[string]string // table → "atom|atom|..." (atoms sorted)
+}
+
+func newConfigLookup(active []*catalog.IndexMeta) *configLookup {
+	if len(active) == 0 {
+		return &configLookup{}
+	}
+	type atom struct{ table, key string }
+	atoms := make([]atom, len(active))
+	for i, idx := range active {
+		atoms[i] = atom{table: idx.Table, key: atomKey(idx)}
+	}
+	sort.Slice(atoms, func(i, j int) bool {
+		if atoms[i].table != atoms[j].table {
+			return atoms[i].table < atoms[j].table
+		}
+		return atoms[i].key < atoms[j].key
+	})
+	byTable := make(map[string]string, len(atoms))
+	var b strings.Builder
+	for i := 0; i < len(atoms); {
+		j := i
+		b.Reset()
+		for ; j < len(atoms) && atoms[j].table == atoms[i].table; j++ {
+			if j > i {
+				b.WriteByte('|')
+			}
+			b.WriteString(atoms[j].key)
+		}
+		byTable[atoms[i].table] = b.String()
+		i = j
+	}
+	return &configLookup{byTable: byTable}
+}
+
+// subsetKey assembles the cache-key fragment for the given (sorted) tables.
+func (l *configLookup) subsetKey(tables []string) string {
+	if len(l.byTable) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, t := range tables {
+		if s, ok := l.byTable[t]; ok {
+			if b.Len() > 0 {
+				b.WriteByte('|')
+			}
+			b.WriteString(s)
+		}
+	}
+	return b.String()
+}
+
+// atomKey identifies one active index for cache purposes: canonical
+// identity plus the statistics the planner prices with.
+func atomKey(m *catalog.IndexMeta) string {
+	var b strings.Builder
+	b.WriteString(m.Key())
+	b.WriteByte('#')
+	b.WriteString(strconv.FormatInt(m.SizeBytes, 10))
+	b.WriteByte(':')
+	b.WriteString(strconv.Itoa(m.Height))
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatInt(m.NumTuples, 10))
+	b.WriteByte(':')
+	b.WriteString(strconv.FormatInt(m.NumPages, 10))
+	if m.Unique {
+		b.WriteString(":u")
+	}
+	return b.String()
 }
 
 // applyConfig reshapes the catalog to the desired index set and returns a

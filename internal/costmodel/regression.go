@@ -45,6 +45,9 @@ type Regression struct {
 	epochs   int
 	seed     int64
 	lastLoss float64
+	// gen counts successful Fit calls; the estimator's what-if cost cache
+	// keys its epoch on it so retraining flushes cached predictions.
+	gen uint64
 }
 
 // NewRegression creates an untrained model with the given SGD settings.
@@ -121,8 +124,13 @@ func (r *Regression) Fit(samples []Sample) error {
 		lr = r.lr / (1 + float64(epoch)/float64(r.epochs))
 	}
 	r.trained = true
+	r.gen++
 	return nil
 }
+
+// Generation counts successful trainings; it changes exactly when Predict's
+// behavior can change.
+func (r *Regression) Generation() uint64 { return r.gen }
 
 // Predict estimates the execution cost for the features.
 func (r *Regression) Predict(f Features) float64 {

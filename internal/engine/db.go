@@ -271,6 +271,7 @@ func (db *DB) refreshIndexMeta(meta *catalog.IndexMeta, trees []*btree.Tree, key
 		perEntryPtr = 12 // RID + partition pointer
 	}
 	meta.SizeBytes = int64(float64(keyBytes+n*perEntryPtr) * 1.3)
+	db.cat.BumpGeneration()
 	if db.metrics != nil {
 		db.metrics.indexHeight.With(meta.Name).Set(float64(meta.Height))
 		db.metrics.indexBytes.With(meta.Name).Set(float64(meta.SizeBytes))
@@ -418,6 +419,7 @@ func (db *DB) Analyze(table string) error {
 			db.refreshIndexMeta(meta, trees, 0)
 		}
 	}
+	db.cat.BumpGeneration()
 	return nil
 }
 
@@ -513,6 +515,7 @@ func (db *DB) BulkLoad(table string, rows []sqltypes.Tuple) error {
 		}
 	}
 	t.NumRows += int64(len(rows))
+	db.cat.BumpGeneration()
 	for _, st := range states {
 		db.refreshIndexMeta(st.meta, st.trees, 0)
 	}

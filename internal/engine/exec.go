@@ -202,6 +202,28 @@ func (db *DB) runSeqScan(ctx *evalCtx, n *planner.SeqScanNode) ([]row, error) {
 	heap := db.heaps[n.Table]
 	var out []row
 	var scanErr error
+	if n.Filter != nil {
+		if fast := compileExpr(n.Filter, n.Binding, ctx.cols[n.Binding]); fast != nil {
+			// Compiled path: filter before allocating the row map, so
+			// rejected tuples cost zero allocations.
+			heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
+				db.tuplesProcessed++
+				ok, err := fast(tup, &ctx.ops)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !truthy(ok) {
+					return true
+				}
+				r := newRow()
+				r.vals[n.Binding] = tup
+				out = append(out, r)
+				return true
+			})
+			return out, scanErr
+		}
+	}
 	heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
 		db.tuplesProcessed++
 		r := newRow()
@@ -247,6 +269,13 @@ func (db *DB) runIndexScan(ctx *evalCtx, n *planner.IndexScanNode, outer *row) (
 		return nil, err
 	}
 
+	// Compiled residual fast path: only for standalone scans (outer == nil),
+	// where every column reference resolves against this scan's binding.
+	var fast compiledExpr
+	if n.Residual != nil && outer == nil {
+		fast = compileExpr(n.Residual, n.Binding, ctx.cols[n.Binding])
+	}
+
 	probe := db.probeTrees(n.Index, eqKey, trees)
 	var out []row
 	var scanErr error
@@ -260,6 +289,20 @@ func (db *DB) runIndexScan(ctx *evalCtx, n *planner.IndexScanNode, outer *row) (
 					return true // tombstoned heap tuple with stale index entry
 				}
 				db.tuplesProcessed++
+				if fast != nil {
+					ok, err := fast(tup, &ctx.ops)
+					if err != nil {
+						scanErr = err
+						return false
+					}
+					if !truthy(ok) {
+						return true
+					}
+					r := env.clone()
+					r.vals[n.Binding] = tup
+					out = append(out, r)
+					return true
+				}
 				r := env.clone()
 				r.vals[n.Binding] = tup
 				if n.Residual != nil {

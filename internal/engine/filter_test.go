@@ -1,0 +1,236 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/planner"
+	"repro/internal/sqlparser"
+	"repro/internal/sqltypes"
+)
+
+// filterDB builds a table with int, float, string, and NULL-bearing rows so
+// every predicate shape and null path gets exercised.
+func filterDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	if _, err := db.Exec("CREATE TABLE ft (a BIGINT, b BIGINT, f DOUBLE, s VARCHAR, PRIMARY KEY (a))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		sql := fmt.Sprintf("INSERT INTO ft (a, b, f, s) VALUES (%d, %d, %d.5, 'row%d')", i, i%7, i%11, i%5)
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Rows with NULL b, f, s.
+	for i := 50; i < 60; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO ft (a) VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// seqScanFilter plans the query and digs out the scan's filter plus binding.
+func seqScanFilter(t *testing.T, db *DB, sql string) (sqlparser.Expr, string) {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planner.PlanSelect(db.cat, stmt.(*sqlparser.SelectStmt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var node planner.Node = plan.Root
+	for {
+		switch v := node.(type) {
+		case *planner.ProjectNode:
+			node = v.Input
+			continue
+		case *planner.LimitNode:
+			node = v.Input
+			continue
+		case *planner.FilterNode:
+			node = v.Input
+			continue
+		}
+		break
+	}
+	scan, ok := node.(*planner.SeqScanNode)
+	if !ok {
+		t.Fatalf("%s: expected SeqScanNode, got %T", sql, node)
+	}
+	if scan.Filter == nil {
+		t.Fatalf("%s: scan has no filter", sql)
+	}
+	return scan.Filter, scan.Binding
+}
+
+// TestCompiledFilterMatchesInterpreter is the equivalence contract of the
+// compiled fast path: for every predicate shape, value AND ops accounting
+// are bit-identical to the tree-walking interpreter on every tuple.
+func TestCompiledFilterMatchesInterpreter(t *testing.T) {
+	db := filterDB(t)
+	preds := []string{
+		"a = 7",
+		"a != 7",
+		"b < 3",
+		"b <= 3",
+		"b > 3",
+		"b >= 3",
+		"f = 2.5",
+		"s = 'row1'",
+		"s LIKE 'row%'",
+		"s LIKE '_ow3'",
+		"a = 1 AND b = 1",
+		"b = 99 AND a = 1",
+		"a = 3 OR b = 5",
+		"b = 5 OR a = 3",
+		"NOT a = 3",
+		"a IN (1, 5, 9)",
+		"b IN (1, 2)",
+		"a BETWEEN 10 AND 20",
+		"f BETWEEN 1.0 AND 3.0",
+		"b IS NULL",
+		"b IS NOT NULL",
+		"s IS NULL",
+		"a + b = 10",
+		"a - b > 20",
+		"a * 2 = 40",
+		"a / 7 > 3.0",
+		"b / 0 = 1",
+		"a = 1 AND (b = 1 OR f > 2.0) AND s IS NOT NULL",
+		"b + 1 = 2 AND NOT s LIKE 'row9%'",
+	}
+	for _, pred := range preds {
+		sql := "SELECT * FROM ft WHERE " + pred
+		filter, binding := seqScanFilter(t, db, sql)
+		ctx := &evalCtx{db: db, cols: make(colIndex)}
+		if err := db.bindTable(ctx, "ft", binding); err != nil {
+			t.Fatal(err)
+		}
+		fast := compileExpr(filter, binding, ctx.cols[binding])
+		if fast == nil {
+			t.Errorf("%s: predicate did not compile", pred)
+			continue
+		}
+		t.Run(pred, func(t *testing.T) {
+			checkPredOnAllTuples(t, db, filter, binding, ctx, fast)
+		})
+	}
+}
+
+func checkPredOnAllTuples(t *testing.T, db *DB, filter sqlparser.Expr, binding string, ctx *evalCtx, fast compiledExpr) {
+	t.Helper()
+	checked := 0
+	db.heaps["ft"].Scan(func(_ btree.RID, tup sqltypes.Tuple) bool {
+		r := newRow()
+		r.vals[binding] = tup
+
+		interp := &evalCtx{db: db, cols: ctx.cols}
+		iv, ierr := interp.evalExpr(filter, r)
+
+		var fastOps int64
+		fv, ferr := fast(tup, &fastOps)
+
+		if (ierr == nil) != (ferr == nil) {
+			t.Fatalf("error divergence: interp=%v fast=%v", ierr, ferr)
+		}
+		if ierr == nil {
+			if truthy(iv) != truthy(fv) {
+				t.Fatalf("tuple %v: interp=%v fast=%v", tup, iv, fv)
+			}
+			if iv.Kind == sqltypes.KindFloat && fv.Kind == sqltypes.KindFloat {
+				if math.Float64bits(iv.Float) != math.Float64bits(fv.Float) {
+					t.Fatalf("tuple %v: float bits differ: %v vs %v", tup, iv.Float, fv.Float)
+				}
+			} else if iv != fv {
+				t.Fatalf("tuple %v: value differs: %#v vs %#v", tup, iv, fv)
+			}
+		}
+		if interp.ops != fastOps {
+			t.Fatalf("tuple %v: ops accounting differs: interp=%d fast=%d", tup, interp.ops, fastOps)
+		}
+		checked++
+		return true
+	})
+	if checked == 0 {
+		t.Fatal("no tuples checked")
+	}
+}
+
+// TestCompileExprRejectsUncompilable: constructs needing the evalCtx must
+// fall back to the interpreter (nil compile), never miscompile.
+func TestCompileExprRejectsUncompilable(t *testing.T) {
+	db := filterDB(t)
+	ctx := &evalCtx{db: db, cols: make(colIndex)}
+	if err := db.bindTable(ctx, "ft", "ft"); err != nil {
+		t.Fatal(err)
+	}
+	cols := ctx.cols["ft"]
+	for _, sql := range []string{
+		"SELECT * FROM ft WHERE ABS(b) = 1",
+		"SELECT * FROM ft WHERE a = (SELECT MAX(a) FROM ft)",
+		"SELECT * FROM ft WHERE a IN (SELECT b FROM ft)",
+	} {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		where := stmt.(*sqlparser.SelectStmt).Where
+		// Qualify bare refs like the planner would.
+		qualify(where, "ft")
+		if compileExpr(where, "ft", cols) != nil {
+			t.Errorf("%s: must not compile (needs evalCtx)", sql)
+		}
+	}
+	// Foreign-binding references must not compile either.
+	foreign := &sqlparser.BinaryExpr{Op: sqlparser.OpEQ,
+		L: &sqlparser.ColumnRef{Table: "other", Column: "a"},
+		R: &sqlparser.Literal{Value: sqltypes.NewInt(1)}}
+	if compileExpr(foreign, "ft", cols) != nil {
+		t.Error("foreign-binding ref must not compile")
+	}
+	// Unknown column must not compile (interpreter owns the error).
+	unknown := &sqlparser.ColumnRef{Table: "ft", Column: "nope"}
+	if compileExpr(unknown, "ft", cols) != nil {
+		t.Error("unknown column must not compile")
+	}
+}
+
+// qualify sets the binding on bare column refs (test helper).
+func qualify(e sqlparser.Expr, binding string) {
+	switch v := e.(type) {
+	case *sqlparser.ColumnRef:
+		if v.Table == "" {
+			v.Table = binding
+		}
+	case *sqlparser.BinaryExpr:
+		qualify(v.L, binding)
+		qualify(v.R, binding)
+	case *sqlparser.NotExpr:
+		qualify(v.E, binding)
+	case *sqlparser.InExpr:
+		qualify(v.E, binding)
+		for _, item := range v.List {
+			qualify(item, binding)
+		}
+	case *sqlparser.BetweenExpr:
+		qualify(v.E, binding)
+		qualify(v.Lo, binding)
+		qualify(v.Hi, binding)
+	case *sqlparser.IsNullExpr:
+		qualify(v.E, binding)
+	case *sqlparser.FuncExpr:
+		for _, a := range v.Args {
+			qualify(a, binding)
+		}
+	}
+}

@@ -62,6 +62,7 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt) (*Result, error) {
 		affected++
 	}
 	t.NumRows += affected
+	db.cat.BumpGeneration()
 	db.operatorEvals += ctx.ops
 	return &Result{Stats: ExecStats{RowsAffected: affected}}, nil
 }
@@ -166,9 +167,26 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 			return nil, nil, err
 		}
 		heap := db.heaps[t.Name]
+		var fast compiledExpr
+		if sc.Filter != nil {
+			fast = compileExpr(sc.Filter, sc.Binding, ctx.cols[sc.Binding])
+		}
 		var scanErr error
 		heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
 			db.tuplesProcessed++
+			if fast != nil {
+				ok, err := fast(tup, &ctx.ops)
+				if err != nil {
+					scanErr = err
+					return false
+				}
+				if !truthy(ok) {
+					return true
+				}
+				rids = append(rids, rid)
+				tups = append(tups, tup)
+				return true
+			}
 			r := newRow()
 			r.vals[sc.Binding] = tup
 			if sc.Filter != nil {
@@ -206,6 +224,10 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 		if err != nil {
 			return nil, nil, err
 		}
+		var fast compiledExpr
+		if sc.Residual != nil {
+			fast = compileExpr(sc.Residual, sc.Binding, ctx.cols[sc.Binding])
+		}
 		var scanErr error
 		for _, pb := range bounds {
 			for _, tree := range db.probeTrees(sc.Index, eqKey, trees) {
@@ -217,6 +239,19 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 						return true
 					}
 					db.tuplesProcessed++
+					if fast != nil {
+						ok, err := fast(tup, &ctx.ops)
+						if err != nil {
+							scanErr = err
+							return false
+						}
+						if !truthy(ok) {
+							return true
+						}
+						rids = append(rids, e.RID)
+						tups = append(tups, tup)
+						return true
+					}
 					r := newRow()
 					r.vals[sc.Binding] = tup
 					if sc.Residual != nil {
@@ -307,6 +342,7 @@ func (db *DB) execUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 			db.indexInsert(meta, t, newTup, rid)
 		}
 	}
+	db.cat.BumpGeneration()
 	db.operatorEvals += ctx.ops
 	return &Result{Stats: ExecStats{RowsAffected: int64(len(rids))}}, nil
 }
@@ -377,5 +413,6 @@ func (db *DB) execDelete(s *sqlparser.DeleteStmt) (*Result, error) {
 	if t.NumRows < 0 {
 		t.NumRows = 0
 	}
+	db.cat.BumpGeneration()
 	return &Result{Stats: ExecStats{RowsAffected: int64(len(rids))}}, nil
 }

@@ -125,6 +125,9 @@ type Result struct {
 	BaseCost, BestCost float64
 	// Evaluations counts estimator calls (the expensive operation).
 	Evaluations int
+	// CacheHits counts configuration evaluations answered by the searcher's
+	// whole-set cost cache instead of the estimator.
+	CacheHits int
 	// Iterations actually performed.
 	Iterations int
 	// SizeBytes is the recommendation's total index footprint.
@@ -230,6 +233,7 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 		BaseCost:    baseCost,
 		BestCost:    bestCost,
 		Evaluations: s.evaluations,
+		CacheHits:   s.cacheHits,
 		Iterations:  iters,
 		SizeBytes:   best.size,
 		Trajectory:  trajectory,
@@ -239,10 +243,12 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 		cfg.Metrics.Counter("mcts_iterations_total", "MCTS selection/expansion iterations").Add(int64(iters))
 		cfg.Metrics.Counter("mcts_expansions_total", "Policy-tree nodes expanded").Add(int64(expansions))
 		cfg.Metrics.Counter("mcts_evaluations_total", "Estimator configuration evaluations").Add(int64(s.evaluations))
+		cfg.Metrics.Counter("mcts_config_cache_hits_total", "Configuration evaluations served from the whole-set cost cache").Add(int64(s.cacheHits))
 	}
 	cfg.Span.SetAttr("iterations", iters)
 	cfg.Span.SetAttr("expansions", expansions)
 	cfg.Span.SetAttr("evaluations", s.evaluations)
+	cfg.Span.SetAttr("config_cache_hits", s.cacheHits)
 	cfg.Span.SetAttr("base_cost", baseCost)
 	cfg.Span.SetAttr("best_cost", bestCost)
 	initial := keySet(existing)
@@ -268,12 +274,14 @@ type searcher struct {
 	baseCost    float64
 	costCache   map[string]float64
 	evaluations int
+	cacheHits   int
 }
 
 // cost evaluates (with caching) the workload cost of an index set.
 func (s *searcher) cost(indexes []*catalog.IndexMeta) (float64, error) {
 	key := setKey(indexes)
 	if c, ok := s.costCache[key]; ok {
+		s.cacheHits++
 		return c, nil
 	}
 	c, err := s.eval.WorkloadCost(indexes)

@@ -350,3 +350,43 @@ func findSort(n Node) (*SortNode, bool) {
 		return nil, false
 	}
 }
+
+// TestPlanningCloneLeavesOriginalUntouched pins the contract the estimator's
+// Clone()-based fast path relies on: the planner may qualify column
+// references and rewrite ORDER BY aliases in place, but only ever on the
+// clone it is handed — the original statement's rendering (the template the
+// cost cache keys on) must never change, however many times its clones are
+// planned under different configurations.
+func TestPlanningCloneLeavesOriginalUntouched(t *testing.T) {
+	cat := testCatalog(t)
+	queries := []string{
+		"SELECT cid, amount AS a FROM orders WHERE cid = 7 ORDER BY a",
+		"SELECT o.cid, c.city FROM orders o JOIN customer c ON o.cid = c.id WHERE c.city = 'x'",
+		"SELECT cid FROM orders WHERE amount BETWEEN 1.0 AND 2.0 AND status IN ('a', 'b')",
+		"UPDATE orders SET amount = amount + 1.0 WHERE cid = 3",
+		"DELETE FROM orders WHERE cid = 9",
+		"INSERT INTO orders (oid, cid, amount, status) VALUES (1, 2, 3.0, 'n')",
+	}
+	for _, sql := range queries {
+		stmt, err := sqlparser.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := stmt.String()
+		for round := 0; round < 3; round++ {
+			switch s := stmt.(type) {
+			case *sqlparser.SelectStmt:
+				if _, err := PlanSelect(cat, s.CloneSelect()); err != nil {
+					t.Fatalf("%s: %v", sql, err)
+				}
+			default:
+				if _, err := PlanWrite(cat, stmt.Clone()); err != nil {
+					t.Fatalf("%s: %v", sql, err)
+				}
+			}
+			if got := stmt.String(); got != before {
+				t.Fatalf("planning a clone mutated the original of %q:\n  before: %s\n  after:  %s", sql, before, got)
+			}
+		}
+	}
+}

@@ -17,6 +17,8 @@ type Statement interface {
 	stmt()
 	// String renders the statement back to SQL (normalized form).
 	String() string
+	// Clone returns a deep copy sharing no mutable nodes with the receiver.
+	Clone() Statement
 }
 
 // SelectStmt is a SELECT query.
@@ -147,6 +149,8 @@ func (s *ExplainStmt) String() string { return "EXPLAIN " + s.Stmt.String() }
 type Expr interface {
 	expr()
 	String() string
+	// Clone returns a deep copy sharing no mutable nodes with the receiver.
+	Clone() Expr
 }
 
 // BinOp enumerates binary operators.
