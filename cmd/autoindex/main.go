@@ -12,10 +12,12 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/autoindex"
 	"repro/internal/engine"
@@ -44,6 +46,8 @@ func main() {
 	jsonReport := flag.Bool("json", false, "print state reports as JSON instead of text")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics (Prometheus text), /metrics.json and /debug/trace on this address (e.g. :9090)")
+	flag.DurationVar(&roundTimeout, "round-timeout", 0,
+		"deadline per tuning round's search (e.g. 500ms); on deadline the best-so-far recommendation is used, flagged degraded (0 = unbounded)")
 	flag.Parse()
 	showReport = *report
 	jsonOut = *jsonReport
@@ -76,6 +80,9 @@ var (
 	metricsRegistry *obs.Registry
 	metricsTracer   *obs.Tracer
 )
+
+// roundTimeout bounds each tuning round's search (set from -round-timeout).
+var roundTimeout time.Duration
 
 func run(scenario string, scale int, schemaFile, workloadFile string,
 	budget, seed int64, apply bool, n int, loadSnap, saveSnap string, rounds int) error {
@@ -161,10 +168,12 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 	if rounds < 1 {
 		rounds = 1
 	}
+	ctx := context.Background()
 	mgr := autoindex.New(db, autoindex.Options{
-		Budget:      budget,
-		MCTS:        mcts.Config{Iterations: 200, Rollouts: 4, Seed: seed, EarlyStopRounds: 50},
-		UseForecast: rounds > 1,
+		Budget:       budget,
+		MCTS:         mcts.Config{Iterations: 200, Rollouts: 4, Seed: seed, EarlyStopRounds: 50},
+		UseForecast:  rounds > 1,
+		RoundTimeout: roundTimeout,
 	})
 	if metricsRegistry != nil {
 		db.SetMetrics(metricsRegistry)
@@ -191,7 +200,7 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 		mgr.ObserveMeasuredCost(run.TotalCost)
 		mgr.CloseWindow()
 
-		rep, err := mgr.Diagnose()
+		rep, err := mgr.Diagnose(ctx)
 		if err != nil {
 			return err
 		}
@@ -204,12 +213,15 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 			}
 		}
 
-		rec, err := mgr.Recommend()
+		rec, err := mgr.Recommend(ctx)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("recommendation (%d candidates, %d evaluations, %v):\n",
 			rec.CandidateCount, rec.Evaluations, rec.Duration.Round(1000000))
+		if rec.Degraded {
+			fmt.Println("  (degraded: round deadline hit, best-so-far result)")
+		}
 		if len(rec.Create) == 0 && len(rec.Drop) == 0 {
 			fmt.Println("  current configuration is already good")
 			continue
@@ -229,11 +241,15 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 			rec.BaseCost, rec.BestCost, rec.EstimatedBenefit)
 
 		if apply {
-			created, dropped, err := mgr.Apply(rec)
+			report, err := mgr.Apply(ctx, rec)
 			if err != nil {
+				if report != nil && report.RolledBack {
+					fmt.Printf("apply failed, rolled back: %v\n", err)
+				}
 				return err
 			}
-			fmt.Printf("applied: %d created, %d dropped\n", created, dropped)
+			fmt.Printf("applied: %d created, %d dropped\n",
+				len(report.Created), len(report.Dropped))
 		}
 	}
 

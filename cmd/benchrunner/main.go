@@ -26,7 +26,10 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (faster, noisier)")
 	traceOut := flag.String("trace-out", "",
 		"write a JSONL span trace of every tuning round to this file (replayable experiment telemetry)")
+	roundTimeout := flag.Duration("round-timeout", 0,
+		"deadline per tuning round's search (0 = unbounded); degraded best-so-far results on expiry")
 	flag.Parse()
+	experiments.RoundTimeout = *roundTimeout
 
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,26 +53,27 @@ func main() {
 	fmt.Printf("before tuning: %d secondary indexes, %d bytes\n", nBefore, bytesBefore)
 
 	// Bulk prune: unused indexes whose removal is cost-neutral or better.
+	ctx := context.Background()
 	w := mgr.TemplateStore().Workload()
-	drops, err := mgr.PruneRecommendation(w)
+	drops, err := mgr.PruneRecommendation(ctx, w)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := mgr.ApplyDrops(drops); err != nil {
+	if _, err := mgr.ApplyDrops(ctx, drops); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("bulk prune removed %d indexes\n", len(drops))
 
 	// Tree-search refinement over the survivors plus fresh candidates.
-	rec, err := mgr.Recommend()
+	rec, err := mgr.Recommend(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
-	c, d, err := mgr.Apply(rec)
+	rep, err := mgr.Apply(ctx, rec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("refinement: +%d indexes, -%d indexes\n", c, d)
+	fmt.Printf("refinement: +%d indexes, -%d indexes\n", len(rep.Created), len(rep.Dropped))
 
 	nAfter, bytesAfter := indexFootprint(db)
 	fmt.Printf("after tuning: %d secondary indexes, %d bytes (removed %.0f%%, saved %.0f%% storage)\n",

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -58,14 +59,15 @@ func main() {
 			i+1, ep.name, run.Statements, run.TotalCost, run.Throughput())
 
 		// Epoch boundary: tune against what this epoch actually ran.
-		rec, err := mgr.Recommend()
+		rec, err := mgr.Recommend(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		created, dropped, err := mgr.Apply(rec)
+		rep, err := mgr.Apply(context.Background(), rec)
 		if err != nil {
 			log.Fatal(err)
 		}
+		created, dropped := len(rep.Created), len(rep.Dropped)
 		if created+dropped > 0 {
 			fmt.Printf("  re-tuned: +%d/-%d indexes (estimated benefit %.0f, %d templates, %v)\n",
 				created, dropped, rec.EstimatedBenefit, rec.TemplatesUsed, rec.Duration.Round(1000000))

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 		}
 		fmt.Printf("executed: cost=%.1f errors=%d\n", run.TotalCost, run.Errors)
 
-		rec, err := mgr.Recommend()
+		rec, err := mgr.Recommend(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,7 +47,7 @@ func main() {
 		if len(rec.Create) == 0 && len(rec.Drop) == 0 {
 			fmt.Println("  (no index changes)")
 		}
-		if _, _, err := mgr.Apply(rec); err != nil {
+		if _, err := mgr.Apply(context.Background(), rec); err != nil {
 			log.Fatal(err)
 		}
 		listIndexes(db)

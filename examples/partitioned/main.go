@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -51,7 +52,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rec, err := mgr.Recommend()
+		rec, err := mgr.Recommend(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,7 +63,7 @@ func main() {
 			}
 			fmt.Printf("AutoIndex chose: CREATE %s INDEX ON %s %v\n", kind, spec.Table, spec.Columns)
 		}
-		if _, _, err := mgr.Apply(rec); err != nil {
+		if _, err := mgr.Apply(context.Background(), rec); err != nil {
 			log.Fatal(err)
 		}
 		after := harness.Run(db, stmts)

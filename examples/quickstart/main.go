@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,14 +54,15 @@ func main() {
 		before.TotalCost, mgr.TemplateStore().Len())
 
 	// 4. Diagnose, recommend, apply.
-	report, err := mgr.Diagnose()
+	ctx := context.Background()
+	report, err := mgr.Diagnose(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("diagnosis: %d beneficial indexes missing, tuning needed: %v\n",
 		len(report.BeneficialUncreated), report.NeedsTuning)
 
-	rec, err := mgr.Recommend()
+	rec, err := mgr.Recommend(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func main() {
 		fmt.Printf("recommended: CREATE INDEX ON %s %v (estimated benefit share of %.1f)\n",
 			spec.Table, spec.Columns, rec.EstimatedBenefit)
 	}
-	if _, _, err := mgr.Apply(rec); err != nil {
+	if _, err := mgr.Apply(ctx, rec); err != nil {
 		log.Fatal(err)
 	}
 

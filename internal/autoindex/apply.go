@@ -1,0 +1,182 @@
+package autoindex
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sqlparser"
+)
+
+// applyRetries is how many extra attempts a single create/drop gets when it
+// fails with a transient (retryable) injected fault.
+const applyRetries = 2
+
+// ApplyReport is the outcome of one transactional apply. Created and Dropped
+// list only changes that committed and survived: after a successful apply
+// they are the full delta; after a failed one (Err set, RolledBack true)
+// both are the changes that were undone, and the live configuration equals
+// the pre-apply one exactly.
+type ApplyReport struct {
+	// Created names the indexes built.
+	Created []string
+	// Dropped holds the full pre-drop spec of every index dropped — enough
+	// to rebuild each one (columns, uniqueness, locality) on rollback.
+	Dropped []*catalog.IndexMeta
+	// RolledBack reports that a failure occurred and the completed changes
+	// above were reverted in reverse order.
+	RolledBack bool
+	// RollbackErr is the first error hit while rolling back (nil when the
+	// rollback fully restored the pre-apply configuration). When non-nil
+	// the system is between configurations and needs operator attention.
+	RollbackErr error
+	// Err is the failure that triggered the rollback (nil on success).
+	Err error
+}
+
+// Apply executes a recommendation transactionally: drops first (freeing
+// budget), then creates. On any failure every completed change is rolled
+// back in reverse order — new creates are dropped, dropped indexes are
+// rebuilt from their recorded specs — so the live index set always matches
+// exactly the pre-apply or the post-apply configuration. Transient faults
+// are retried in place before counting as failure. Each apply (successful
+// or failed) is recorded in the benefit ledger; successful ones with real
+// changes open a predicted-vs-actual record completed by the next
+// ObserveMeasuredCost.
+func (m *Manager) Apply(ctx context.Context, rec *Recommendation) (*ApplyReport, error) {
+	return m.applySpanned(ctx, rec, nil)
+}
+
+// ApplyDrops drops the named indexes with the same all-or-nothing contract
+// as Apply: a mid-loop failure rebuilds the already-dropped indexes from
+// their recorded specs instead of leaving them silently gone.
+func (m *Manager) ApplyDrops(ctx context.Context, names []string) (*ApplyReport, error) {
+	return m.applySpanned(ctx, &Recommendation{Drop: names}, nil)
+}
+
+func (m *Manager) applySpanned(ctx context.Context, rec *Recommendation, parent *obs.Span) (rep *ApplyReport, err error) {
+	span := m.childOrRoot(parent, "apply")
+	rep = &ApplyReport{}
+	defer func() {
+		rep.Err = err
+		span.SetAttr("created", len(rep.Created))
+		span.SetAttr("dropped", len(rep.Dropped))
+		if rep.RolledBack {
+			span.SetAttr("rolled_back", true)
+			if rep.RollbackErr != nil {
+				span.SetAttr("rollback_error", rep.RollbackErr.Error())
+			}
+		}
+		span.End()
+		m.recordApplied(rec, rep)
+	}()
+	for _, name := range rec.Drop {
+		if cerr := ctx.Err(); cerr != nil {
+			m.rollback(rep)
+			return rep, cerr
+		}
+		meta := m.db.Catalog().Index(name)
+		var snapshot *catalog.IndexMeta
+		if meta != nil {
+			snapshot = cloneIndexMeta(meta)
+		}
+		if derr := m.retryTransient(func() error { return m.db.DropIndex(name) }); derr != nil {
+			m.rollback(rep)
+			return rep, fmt.Errorf("autoindex: drop %s: %w", name, derr)
+		}
+		rep.Dropped = append(rep.Dropped, snapshot)
+	}
+	for _, spec := range rec.Create {
+		if cerr := ctx.Err(); cerr != nil {
+			m.rollback(rep)
+			return rep, cerr
+		}
+		name := buildName(spec)
+		if m.db.Catalog().Index(name) != nil {
+			continue // already exists (e.g. a concurrent manual CREATE INDEX)
+		}
+		local := ""
+		if spec.Local {
+			local = "LOCAL "
+		}
+		stmt := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", local, name, spec.Table,
+			strings.Join(spec.Columns, ", "))
+		if cerr := m.retryTransient(func() error {
+			_, err := m.db.Exec(stmt)
+			return err
+		}); cerr != nil {
+			m.rollback(rep)
+			return rep, fmt.Errorf("autoindex: create %s: %w", name, cerr)
+		}
+		rep.Created = append(rep.Created, name)
+	}
+	return rep, nil
+}
+
+// rollback reverts the report's completed changes in reverse order of
+// completion: creates are dropped newest-first, then drops are rebuilt
+// newest-first from their snapshots. Rollback steps retry transient faults;
+// the first hard failure is recorded in rep.RollbackErr and the remaining
+// steps still run (restoring as much as possible).
+func (m *Manager) rollback(rep *ApplyReport) {
+	rep.RolledBack = true
+	for i := len(rep.Created) - 1; i >= 0; i-- {
+		name := rep.Created[i]
+		if err := m.retryTransient(func() error { return m.db.DropIndex(name) }); err != nil {
+			if rep.RollbackErr == nil {
+				rep.RollbackErr = fmt.Errorf("autoindex: rollback drop %s: %w", name, err)
+			}
+		}
+	}
+	for i := len(rep.Dropped) - 1; i >= 0; i-- {
+		meta := rep.Dropped[i]
+		if meta == nil {
+			continue
+		}
+		if err := m.retryTransient(func() error { return m.rebuildIndex(meta) }); err != nil {
+			if rep.RollbackErr == nil {
+				rep.RollbackErr = fmt.Errorf("autoindex: rollback rebuild %s: %w", meta.Name, err)
+			}
+		}
+	}
+}
+
+// rebuildIndex recreates a dropped index from its snapshot, preserving
+// uniqueness and locality. It goes through the engine's statement boundary
+// so injected faults during the rebuild surface as errors, not panics.
+func (m *Manager) rebuildIndex(meta *catalog.IndexMeta) error {
+	if m.db.Catalog().Index(meta.Name) != nil {
+		return nil
+	}
+	_, err := m.db.ExecStmt(&sqlparser.CreateIndexStmt{
+		Name:    meta.Name,
+		Table:   meta.Table,
+		Columns: meta.Columns,
+		Unique:  meta.Unique,
+		Local:   meta.Local,
+	})
+	return err
+}
+
+// retryTransient runs do, retrying up to applyRetries extra times while it
+// fails with a retryable injected fault (lock timeout, throttled IO).
+func (m *Manager) retryTransient(do func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = do()
+		if err == nil || attempt >= applyRetries || !fault.IsTransient(err) {
+			return err
+		}
+	}
+}
+
+// cloneIndexMeta deep-copies the fields needed to rebuild an index. Runtime
+// statistics are recomputed by the rebuild itself.
+func cloneIndexMeta(meta *catalog.IndexMeta) *catalog.IndexMeta {
+	clone := *meta
+	clone.Columns = append([]string(nil), meta.Columns...)
+	return &clone
+}

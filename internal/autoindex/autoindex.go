@@ -8,7 +8,8 @@
 package autoindex
 
 import (
-	"fmt"
+	"context"
+	"errors"
 	"math"
 	"sort"
 	"strings"
@@ -59,6 +60,12 @@ type Options struct {
 	UseForecast bool
 	// ForecastAlpha is the EWMA smoothing factor (default 0.5).
 	ForecastAlpha float64
+	// RoundTimeout bounds one tuning round's search work (diagnosis,
+	// candidate generation, MCTS, estimation). Zero means unbounded. On
+	// deadline the round returns its best-so-far recommendation flagged
+	// Degraded instead of an error; the apply phase is never time-boxed —
+	// a started apply runs to completion or rolls back.
+	RoundTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -171,15 +178,15 @@ func (m *Manager) TrainEstimator() error {
 func (m *Manager) SampleCount() int { return len(m.samples) }
 
 // Diagnose runs the index diagnosis over the current window.
-func (m *Manager) Diagnose() (*diagnosis.Report, error) {
-	return m.diagnoseSpanned(nil)
+func (m *Manager) Diagnose(ctx context.Context) (*diagnosis.Report, error) {
+	return m.diagnoseSpanned(ctx, nil)
 }
 
-func (m *Manager) diagnoseSpanned(parent *obs.Span) (*diagnosis.Report, error) {
+func (m *Manager) diagnoseSpanned(ctx context.Context, parent *obs.Span) (*diagnosis.Report, error) {
 	span := m.childOrRoot(parent, "diagnose")
 	defer span.End()
 	w := m.store.Workload()
-	rep, err := diagnosis.Diagnose(m.db.Catalog(), m.db.IndexUsage(), m.db.StatementCount(),
+	rep, err := diagnosis.Diagnose(ctx, m.db.Catalog(), m.db.IndexUsage(), m.db.StatementCount(),
 		w, m.estimator, m.generator, m.opts.Diagnosis)
 	if err == nil {
 		span.SetAttr("beneficial_uncreated", len(rep.BeneficialUncreated))
@@ -220,16 +227,36 @@ type Recommendation struct {
 	Duration time.Duration
 	// TemplatesUsed is the number of templates the workload compressed to.
 	TemplatesUsed int
+	// Degraded reports that the round hit its deadline (or was cancelled)
+	// and the recommendation is the best found so far, not a converged one.
+	Degraded bool
 }
 
 // Recommend runs one full tuning round — candidate generation from the
 // compressed workload, then MCTS over add/remove actions — without applying
 // anything. With UseForecast set, the round tunes for the predicted
-// next-window template mix.
-func (m *Manager) Recommend() (*Recommendation, error) {
+// next-window template mix. The context (tightened by Options.RoundTimeout)
+// bounds the search: on deadline the best-so-far recommendation is returned
+// flagged Degraded.
+func (m *Manager) Recommend(ctx context.Context) (*Recommendation, error) {
 	round := m.startRound("recommend")
 	defer round.End()
-	return m.recommendSpanned(m.spannedRoundWorkload(round), round)
+	ctx, cancel := m.roundContext(ctx)
+	defer cancel()
+	return m.recommendSpanned(ctx, m.spannedRoundWorkload(round), round)
+}
+
+// roundContext tightens ctx with the configured round timeout, if any.
+func (m *Manager) roundContext(ctx context.Context) (context.Context, context.CancelFunc) {
+	if m.opts.RoundTimeout > 0 {
+		return context.WithTimeout(ctx, m.opts.RoundTimeout)
+	}
+	return ctx, func() {}
+}
+
+// isCtxErr reports whether err stems from cancellation or deadline.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // roundWorkload picks the workload a tuning round prices against.
@@ -248,15 +275,18 @@ func (m *Manager) CloseWindow() {
 
 // RecommendOn tunes against an explicit workload (bypassing the template
 // store); used by the query-level ablation and tests.
-func (m *Manager) RecommendOn(w *workload.Workload) (*Recommendation, error) {
+func (m *Manager) RecommendOn(ctx context.Context, w *workload.Workload) (*Recommendation, error) {
 	round := m.startRound("recommend_on")
 	defer round.End()
-	return m.recommendSpanned(w, round)
+	ctx, cancel := m.roundContext(ctx)
+	defer cancel()
+	return m.recommendSpanned(ctx, w, round)
 }
 
 // recommendSpanned is the tuning-round core; round (nil-safe) receives the
 // candgen → mcts → estimate child spans and the round summary attributes.
-func (m *Manager) recommendSpanned(w *workload.Workload, round *obs.Span) (*Recommendation, error) {
+// On context deadline it degrades to best-so-far rather than erroring.
+func (m *Manager) recommendSpanned(ctx context.Context, w *workload.Workload, round *obs.Span) (*Recommendation, error) {
 	start := time.Now()
 	if len(w.Queries) == 0 {
 		round.SetAttr("empty_workload", true)
@@ -265,7 +295,7 @@ func (m *Manager) recommendSpanned(w *workload.Workload, round *obs.Span) (*Reco
 	round.SetAttr("templates", len(w.Queries))
 
 	cgSpan := round.Child("candgen")
-	cands := m.generator.Generate(w)
+	cands := m.generator.Generate(ctx, w)
 	cgSpan.SetAttr("generated", len(cands))
 	if len(cands) > m.opts.MaxCandidates {
 		cands = cands[:m.opts.MaxCandidates]
@@ -293,12 +323,23 @@ func (m *Manager) recommendSpanned(w *workload.Workload, round *obs.Span) (*Reco
 	mctsSpan := round.Child("mcts")
 	cfg.Span = mctsSpan
 	cfg.Metrics = m.mctsRegistry()
-	eval := mcts.EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
-		return m.estimator.WorkloadCost(w, active)
+	eval := mcts.EvaluatorFunc(func(evalCtx context.Context, active []*catalog.IndexMeta) (float64, error) {
+		return m.estimator.WorkloadCostContext(evalCtx, w, active)
 	})
-	res, err := mcts.Search(eval, existing, pool, cfg)
+	res, err := mcts.Search(ctx, eval, existing, pool, cfg)
 	mctsSpan.End()
 	if err != nil {
+		if isCtxErr(err) {
+			// Deadline before even the base configuration was priced:
+			// degrade to a no-change recommendation.
+			round.SetAttr("degraded", true)
+			return &Recommendation{
+				CandidateCount: len(pool),
+				TemplatesUsed:  len(w.Queries),
+				Duration:       time.Since(start),
+				Degraded:       true,
+			}, nil
+		}
 		return nil, err
 	}
 
@@ -310,6 +351,7 @@ func (m *Manager) recommendSpanned(w *workload.Workload, round *obs.Span) (*Reco
 		Evaluations:      res.Evaluations,
 		MCTSCacheHits:    res.CacheHits,
 		TemplatesUsed:    len(w.Queries),
+		Degraded:         res.Degraded,
 	}
 	// Map diff keys back to specs/names.
 	byKey := make(map[string]*catalog.IndexMeta)
@@ -331,15 +373,23 @@ func (m *Manager) recommendSpanned(w *workload.Workload, round *obs.Span) (*Reco
 		kept := rec.Create[:0]
 		final := res.Indexes
 		finalCost := res.BestCost
-		for _, spec := range rec.Create {
+		for ci, spec := range rec.Create {
 			without := make([]*catalog.IndexMeta, 0, len(final)-1)
 			for _, m2 := range final {
 				if m2.Key() != spec.Key() {
 					without = append(without, m2)
 				}
 			}
-			c, err := m.estimator.WorkloadCost(w, without)
+			c, err := m.estimator.WorkloadCostContext(ctx, w, without)
 			if err != nil {
+				if isCtxErr(err) {
+					// Deadline mid-prune: keep this and every unchecked
+					// candidate (conservative — pruning only ever removes
+					// cost-neutral passengers) and degrade.
+					kept = append(kept, rec.Create[ci:]...)
+					rec.Degraded = true
+					break
+				}
 				estSpan.End()
 				return nil, err
 			}
@@ -381,51 +431,11 @@ func (m *Manager) recommendSpanned(w *workload.Workload, round *obs.Span) (*Reco
 		round.SetAttr("predicted_benefit", rec.EstimatedBenefit)
 		round.SetAttr("create", createNames)
 		round.SetAttr("drop", rec.Drop)
+		if rec.Degraded {
+			round.SetAttr("degraded", true)
+		}
 	}
 	return rec, nil
-}
-
-// Apply executes a recommendation: drops first (freeing budget), then
-// creates. Returns the number of indexes created and dropped. Each apply
-// with real changes opens a predicted-vs-actual benefit record, completed
-// by the next ObserveMeasuredCost.
-func (m *Manager) Apply(rec *Recommendation) (created, dropped int, err error) {
-	return m.applySpanned(rec, nil)
-}
-
-func (m *Manager) applySpanned(rec *Recommendation, parent *obs.Span) (created, dropped int, err error) {
-	span := m.childOrRoot(parent, "apply")
-	defer func() {
-		span.SetAttr("created", created)
-		span.SetAttr("dropped", dropped)
-		span.End()
-		if err == nil {
-			m.recordApplied(rec, created, dropped)
-		}
-	}()
-	for _, name := range rec.Drop {
-		if err := m.db.DropIndex(name); err != nil {
-			return created, dropped, fmt.Errorf("autoindex: drop %s: %w", name, err)
-		}
-		dropped++
-	}
-	for _, spec := range rec.Create {
-		name := buildName(spec)
-		if m.db.Catalog().Index(name) != nil {
-			continue
-		}
-		local := ""
-		if spec.Local {
-			local = "LOCAL "
-		}
-		stmt := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", local, name, spec.Table,
-			strings.Join(spec.Columns, ", "))
-		if _, err := m.db.Exec(stmt); err != nil {
-			return created, dropped, fmt.Errorf("autoindex: create %s: %w", name, err)
-		}
-		created++
-	}
-	return created, dropped, nil
 }
 
 // PruneRecommendation identifies wholesale-removable indexes: real secondary
@@ -433,13 +443,13 @@ func (m *Manager) applySpanned(rec *Recommendation, parent *obs.Span) (created, 
 // removal does not increase the estimated workload cost. This is the bulk
 // path of the paper's Fig.-1 banking removal — the policy tree then only has
 // to reason about the contested indexes. Returns the names to drop.
-func (m *Manager) PruneRecommendation(w *workload.Workload) ([]string, error) {
+func (m *Manager) PruneRecommendation(ctx context.Context, w *workload.Workload) ([]string, error) {
 	usage := m.db.IndexUsage()
 	existing := m.realSecondaryIndexes()
 	if len(w.Queries) == 0 {
 		return nil, nil
 	}
-	base, err := m.estimator.WorkloadCost(w, existing)
+	base, err := m.estimator.WorkloadCostContext(ctx, w, existing)
 	if err != nil {
 		return nil, err
 	}
@@ -455,7 +465,7 @@ func (m *Manager) PruneRecommendation(w *workload.Workload) ([]string, error) {
 				without = append(without, k)
 			}
 		}
-		c, err := m.estimator.WorkloadCost(w, without)
+		c, err := m.estimator.WorkloadCostContext(ctx, w, without)
 		if err != nil {
 			return nil, err
 		}
@@ -470,31 +480,26 @@ func (m *Manager) PruneRecommendation(w *workload.Workload) ([]string, error) {
 	return drops, nil
 }
 
-// ApplyDrops drops the named indexes, returning how many were dropped.
-func (m *Manager) ApplyDrops(names []string) (int, error) {
-	dropped := 0
-	for _, n := range names {
-		if err := m.db.DropIndex(n); err != nil {
-			return dropped, err
-		}
-		dropped++
-	}
-	return dropped, nil
-}
-
 // Tune is the full loop: handle workload drift (decay stale templates),
 // diagnose, and when tuning is needed (or force is set), recommend and
 // apply. It returns the recommendation (nil when no tuning happened). The
 // whole round is traced as one span with diagnose → candgen → mcts →
 // estimate → apply children.
-func (m *Manager) Tune(force bool) (*Recommendation, error) {
+//
+// Options.RoundTimeout (or a deadline on ctx) bounds the search phases;
+// the apply phase runs under the caller's ctx so a recommendation that was
+// found in time is applied transactionally even if the search deadline has
+// since passed.
+func (m *Manager) Tune(ctx context.Context, force bool) (*Recommendation, error) {
 	round := m.startRound("tune")
 	defer round.End()
 	if decayed := m.MaybeDecayTemplates(); decayed {
 		round.SetAttr("templates_decayed", true)
 	}
+	searchCtx, cancel := m.roundContext(ctx)
+	defer cancel()
 	if !force {
-		rep, err := m.diagnoseSpanned(round)
+		rep, err := m.diagnoseSpanned(searchCtx, round)
 		if err != nil {
 			return nil, err
 		}
@@ -503,11 +508,11 @@ func (m *Manager) Tune(force bool) (*Recommendation, error) {
 			return nil, nil
 		}
 	}
-	rec, err := m.recommendSpanned(m.spannedRoundWorkload(round), round)
+	rec, err := m.recommendSpanned(searchCtx, m.spannedRoundWorkload(round), round)
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := m.applySpanned(rec, round); err != nil {
+	if _, err := m.applySpanned(ctx, rec, round); err != nil {
 		return nil, err
 	}
 	return rec, nil

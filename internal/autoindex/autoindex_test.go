@@ -1,6 +1,7 @@
 package autoindex
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -43,7 +44,7 @@ func TestTuneCreatesUsefulIndex(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,12 +64,12 @@ func TestTuneCreatesUsefulIndex(t *testing.T) {
 		t.Errorf("benefit must be positive: %v", rec.EstimatedBenefit)
 	}
 
-	created, dropped, err := m.Apply(rec)
+	applyRep, err := m.Apply(context.Background(), rec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if created == 0 || dropped != 0 {
-		t.Errorf("apply: created=%d dropped=%d", created, dropped)
+	if len(applyRep.Created) == 0 || len(applyRep.Dropped) != 0 {
+		t.Errorf("apply: created=%d dropped=%d", len(applyRep.Created), len(applyRep.Dropped))
 	}
 	if db.Catalog().Index("ai_ev_user_id") == nil {
 		t.Error("applied index missing from catalog")
@@ -97,7 +98,7 @@ func TestTemplateCompression(t *testing.T) {
 	if m.TemplateStore().Len() != 1 {
 		t.Errorf("300 point reads should collapse to 1 template: %d", m.TemplateStore().Len())
 	}
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,14 +120,14 @@ func TestRemovesNegativeIndexOnWriteHeavyWorkload(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rec.Drop) != 1 || rec.Drop[0] != "idx_score" {
 		t.Errorf("write-hot index should be dropped: %+v", recKeys(rec))
 	}
-	if _, _, err := m.Apply(rec); err != nil {
+	if _, err := m.Apply(context.Background(), rec); err != nil {
 		t.Fatal(err)
 	}
 	if db.Catalog().Index("idx_score") != nil {
@@ -146,7 +147,7 @@ func TestBudgetLimitsSelection(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	recU, err := mUnlimited.Recommend()
+	recU, err := mUnlimited.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +158,7 @@ func TestBudgetLimitsSelection(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	recT, err := mTight.Recommend()
+	recT, err := mTight.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,11 +188,11 @@ func TestEpidemicPhasesIncremental(t *testing.T) {
 
 	// W1: read-only → expect indexes on temperature and community.
 	run(l.W1(200))
-	rec1, err := m.Recommend()
+	rec1, err := m.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Apply(rec1); err != nil {
+	if _, err := m.Apply(context.Background(), rec1); err != nil {
 		t.Fatal(err)
 	}
 	keys1 := appliedKeys(rec1)
@@ -203,11 +204,11 @@ func TestEpidemicPhasesIncremental(t *testing.T) {
 	// exceeds benefit; temperature survives thanks to the periodic reads).
 	m.TemplateStore().Decay(0.01, 0.5) // phase change: age out W1 templates
 	run(l.W2(400))
-	rec2, err := m.Recommend()
+	rec2, err := m.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Apply(rec2); err != nil {
+	if _, err := m.Apply(context.Background(), rec2); err != nil {
 		t.Fatal(err)
 	}
 	dropped := make(map[string]bool)
@@ -256,7 +257,7 @@ func TestDiagnoseTriggersOnProblems(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rep, err := m.Diagnose()
+	rep, err := m.Diagnose(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestTuneNoopOnHealthySystem(t *testing.T) {
 		}
 	}
 	// First tune fixes the problem.
-	if _, err := m.Tune(true); err != nil {
+	if _, err := m.Tune(context.Background(), true); err != nil {
 		t.Fatal(err)
 	}
 	// Re-observe the same traffic; the system is now healthy.
@@ -293,7 +294,7 @@ func TestTuneNoopOnHealthySystem(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rec, err := m.Tune(false)
+	rec, err := m.Tune(context.Background(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +306,7 @@ func TestTuneNoopOnHealthySystem(t *testing.T) {
 func TestEmptyWorkloadRecommendation(t *testing.T) {
 	db, _ := readHeavyDB(t)
 	m := New(db, Options{MCTS: mctsFast()})
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,11 +363,11 @@ func TestAttachObservesAutomatically(t *testing.T) {
 	}
 	// Applying a recommendation issues DDL through db.Exec; it must not
 	// pollute the template store.
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Apply(rec); err != nil {
+	if _, err := m.Apply(context.Background(), rec); err != nil {
 		t.Fatal(err)
 	}
 	if m.TemplateStore().Len() != 1 {
@@ -393,7 +394,7 @@ func TestForecastModeTracksShift(t *testing.T) {
 	}
 	m.CloseWindow()
 
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package autoindex
 
 import (
+	"context"
 	"testing"
 )
 
@@ -23,7 +24,7 @@ func BenchmarkMCTSSearchEvaluations(b *testing.B) {
 			}
 		}
 		b.StartTimer()
-		rec, err := m.Recommend()
+		rec, err := m.Recommend(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}

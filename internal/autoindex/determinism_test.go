@@ -2,6 +2,7 @@ package autoindex
 
 import (
 	"bytes"
+	"context"
 	"testing"
 )
 
@@ -25,11 +26,11 @@ func TestSameSeedRunsAreByteIdentical(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		rec, err := m.Recommend()
+		rec, err := m.Recommend(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, _, err := m.Apply(rec); err != nil {
+		if _, err := m.Apply(context.Background(), rec); err != nil {
 			t.Fatal(err)
 		}
 		js, err := m.Report().JSON()

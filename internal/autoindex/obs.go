@@ -9,15 +9,16 @@ import (
 
 // managerMetrics holds the manager's pre-resolved instrument handles.
 type managerMetrics struct {
-	reg        *obs.Registry
-	rounds     *obs.Counter
-	created    *obs.Counter
-	dropped    *obs.Counter
-	candidates *obs.Gauge
-	templates  *obs.Gauge
-	predicted  *obs.Gauge
-	measured   *obs.Gauge
-	relError   *obs.Gauge
+	reg           *obs.Registry
+	rounds        *obs.Counter
+	created       *obs.Counter
+	dropped       *obs.Counter
+	candidates    *obs.Gauge
+	templates     *obs.Gauge
+	predicted     *obs.Gauge
+	measured      *obs.Gauge
+	relError      *obs.Gauge
+	applyFailures *obs.Counter
 }
 
 func newManagerMetrics(reg *obs.Registry) *managerMetrics {
@@ -34,6 +35,8 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 		predicted:  reg.Gauge("autoindex_predicted_benefit", "Estimator benefit of the last applied recommendation"),
 		measured:   reg.Gauge("autoindex_measured_benefit", "Measured benefit of the last completed recommendation"),
 		relError:   reg.Gauge("autoindex_benefit_rel_error", "Relative |predicted-measured|/measured of the last completed recommendation"),
+		applyFailures: reg.Counter("autoindex_apply_failures_total",
+			"Applies that failed and were rolled back"),
 	}
 }
 
@@ -90,6 +93,15 @@ type AppliedOutcome struct {
 	MeasuredBenefit float64
 	// Complete marks that the after-measurement has arrived.
 	Complete bool
+	// Failed marks an apply that errored; Created/Dropped then count the
+	// changes that were attempted and rolled back, and Error carries the
+	// failure. Failed records are born Complete (there is no configuration
+	// change to measure).
+	Failed bool
+	// RolledBack reports the failed apply's changes were reverted.
+	RolledBack bool
+	// Error is the apply failure message (empty on success).
+	Error string
 }
 
 // MarshalJSON renders the outcome with not-yet-observed measurements (NaN)
@@ -106,6 +118,9 @@ func (o AppliedOutcome) MarshalJSON() ([]byte, error) {
 		CostAfter        *float64 `json:"cost_after"`
 		MeasuredBenefit  *float64 `json:"measured_benefit"`
 		Complete         bool     `json:"complete"`
+		Failed           bool     `json:"failed,omitempty"`
+		RolledBack       bool     `json:"rolled_back,omitempty"`
+		Error            string   `json:"error,omitempty"`
 	}
 	v := outcomeJSON{
 		Round:            o.Round,
@@ -113,6 +128,9 @@ func (o AppliedOutcome) MarshalJSON() ([]byte, error) {
 		Dropped:          o.Dropped,
 		PredictedBenefit: o.PredictedBenefit,
 		Complete:         o.Complete,
+		Failed:           o.Failed,
+		RolledBack:       o.RolledBack,
+		Error:            o.Error,
 	}
 	if !math.IsNaN(o.CostBefore) {
 		v.CostBefore = &o.CostBefore
@@ -172,9 +190,31 @@ func (m *Manager) PredictionAccuracy() (meanRelError float64, n int, ok bool) {
 	return sum / float64(n), n, true
 }
 
-// recordApplied opens a predicted-vs-actual record for an applied
-// recommendation and updates the apply metrics.
-func (m *Manager) recordApplied(rec *Recommendation, created, dropped int) {
+// recordApplied feeds one apply's outcome into the ledger and metrics. A
+// successful apply with real changes opens a predicted-vs-actual record
+// (completed by the next ObserveMeasuredCost); a failed apply is recorded
+// immediately as a complete, Failed entry — failures are part of the tuning
+// history, not silently skipped.
+func (m *Manager) recordApplied(rec *Recommendation, rep *ApplyReport) {
+	if rep.Err != nil {
+		if m.metrics != nil {
+			m.metrics.applyFailures.Inc()
+		}
+		m.outcomes = append(m.outcomes, AppliedOutcome{
+			Round:            m.rounds,
+			Created:          len(rep.Created),
+			Dropped:          len(rep.Dropped),
+			PredictedBenefit: rec.EstimatedBenefit,
+			CostBefore:       m.lastMeasuredCost,
+			CostAfter:        math.NaN(),
+			Complete:         true,
+			Failed:           true,
+			RolledBack:       rep.RolledBack,
+			Error:            rep.Err.Error(),
+		})
+		return
+	}
+	created, dropped := len(rep.Created), len(rep.Dropped)
 	if m.metrics != nil {
 		m.metrics.created.Add(int64(created))
 		m.metrics.dropped.Add(int64(dropped))

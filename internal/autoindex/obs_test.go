@@ -1,6 +1,7 @@
 package autoindex
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"reflect"
@@ -34,7 +35,7 @@ func TestTuningRoundEmitsSpanTree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	rec, err := m.Tune(true)
+	rec, err := m.Tune(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestDiagnoseSpanUnderTune(t *testing.T) {
 	}
 	// Unforced tune runs diagnose first; with a clear missing index it
 	// proceeds through the full pipeline.
-	if _, err := m.Tune(false); err != nil {
+	if _, err := m.Tune(context.Background(), false); err != nil {
 		t.Fatal(err)
 	}
 	forest := obs.BuildForest(tracer.Recent())
@@ -170,7 +171,7 @@ func TestInstrumentationOffIsDeterministic(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		rec, err := m.Recommend()
+		rec, err := m.Recommend(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -202,11 +203,11 @@ func TestPredictedVsMeasuredBenefit(t *testing.T) {
 	before := runCost(t, db, reads)
 	m.ObserveMeasuredCost(before)
 
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := m.Apply(rec); err != nil {
+	if _, err := m.Apply(context.Background(), rec); err != nil {
 		t.Fatal(err)
 	}
 

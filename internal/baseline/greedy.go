@@ -7,6 +7,7 @@
 package baseline
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -64,7 +65,7 @@ func Greedy(est *costmodel.Estimator, gen *candgen.Generator, w *workload.Worklo
 		seen := make(map[string]bool)
 		for i := range w.Queries {
 			single := &workload.Workload{Queries: []workload.Query{w.Queries[i]}}
-			for _, c := range gen.Generate(single) {
+			for _, c := range gen.Generate(context.Background(), single) {
 				if !seen[c.Key()] {
 					seen[c.Key()] = true
 					pool = append(pool, c.Meta)
@@ -72,7 +73,7 @@ func Greedy(est *costmodel.Estimator, gen *candgen.Generator, w *workload.Worklo
 			}
 		}
 	} else {
-		for _, c := range gen.Generate(w) {
+		for _, c := range gen.Generate(context.Background(), w) {
 			pool = append(pool, c.Meta)
 		}
 	}

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/candgen"
@@ -21,7 +22,7 @@ func TestQLearningFindsUsefulIndex(t *testing.T) {
 	db, w := greedyDB(t)
 	est := costmodel.NewEstimator(db.Catalog())
 	gen := candgen.NewGenerator(db.Catalog())
-	metas := candidateMetas(gen.Generate(w))
+	metas := candidateMetas(gen.Generate(context.Background(), w))
 
 	res, err := QLearning(est, w, metas, QLearningOptions{Episodes: 100, Seed: 3})
 	if err != nil {
@@ -39,7 +40,7 @@ func TestQLearningRespectsBudget(t *testing.T) {
 	db, w := greedyDB(t)
 	est := costmodel.NewEstimator(db.Catalog())
 	gen := candgen.NewGenerator(db.Catalog())
-	metas := candidateMetas(gen.Generate(w))
+	metas := candidateMetas(gen.Generate(context.Background(), w))
 	if len(metas) == 0 {
 		t.Fatal("need candidates")
 	}
@@ -69,7 +70,7 @@ func TestQLearningNeedsManyMoreEvaluationsThanGreedy(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	metas := candidateMetas(gen.Generate(w))
+	metas := candidateMetas(gen.Generate(context.Background(), w))
 	qres, err := QLearning(est, w, metas, QLearningOptions{Episodes: 150, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -104,7 +105,7 @@ func TestQLearningWriteOnlyWorkloadSelectsNothing(t *testing.T) {
 	gen := candgen.NewGenerator(db.Catalog())
 	readW := &workload.Workload{}
 	readW.MustAdd("SELECT * FROM ev WHERE a = 7", 1) // generate candidates from a read shape
-	metas := candidateMetas(gen.Generate(readW))
+	metas := candidateMetas(gen.Generate(context.Background(), readW))
 
 	writeW := &workload.Workload{}
 	writeW.MustAdd("INSERT INTO ev (id, a, b, c) VALUES (99999, 1, 2, 3)", 500)

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/sqltypes"
 )
 
@@ -32,6 +33,9 @@ type Tree struct {
 	numPages int64
 	splits   int64
 	monitor  Monitor
+	// faults, when armed, can fail inserts, splits, and scans. Checks fire
+	// before any mutation, so an injected fault leaves the tree unchanged.
+	faults *fault.Injector
 }
 
 // Monitor receives structural-change notifications: one call per page split
@@ -45,6 +49,11 @@ type Monitor interface {
 
 // SetMonitor installs (or, with nil, removes) the structural-change monitor.
 func (t *Tree) SetMonitor(m Monitor) { t.monitor = m }
+
+// SetFaultInjector arms (or with nil disarms) fault injection on this tree's
+// insert, split, and scan paths. Faults surface as *fault.Error panics,
+// recovered at the engine statement boundary.
+func (t *Tree) SetFaultInjector(in *fault.Injector) { t.faults = in }
 
 type node interface {
 	isLeaf() bool
@@ -65,11 +74,23 @@ type innerNode struct {
 func (*leafNode) isLeaf() bool  { return true }
 func (*innerNode) isLeaf() bool { return false }
 
-// New creates an empty tree with the given node capacity (entries per page).
-// Order must be at least 4; DefaultOrder approximates 8KB pages.
-func New(order int) *Tree {
+// ValidateOrder reports whether order is a legal node capacity. Callers that
+// accept an order from configuration should validate it here and return the
+// error; New and BulkBuild keep a panic on violation purely as an internal
+// invariant for already-validated call sites.
+func ValidateOrder(order int) error {
 	if order < 4 {
-		panic(fmt.Sprintf("btree: order %d too small (min 4)", order))
+		return fmt.Errorf("btree: order %d too small (min 4)", order)
+	}
+	return nil
+}
+
+// New creates an empty tree with the given node capacity (entries per page).
+// Order must be at least 4 (see ValidateOrder); DefaultOrder approximates 8KB
+// pages.
+func New(order int) *Tree {
+	if err := ValidateOrder(order); err != nil {
+		panic(err.Error())
 	}
 	return &Tree{
 		order:    order,
@@ -94,6 +115,9 @@ func (t *Tree) Splits() int64 { return t.splits }
 
 // Insert adds key→rid. Duplicates are allowed.
 func (t *Tree) Insert(key sqltypes.Key, rid RID) {
+	if t.faults != nil {
+		t.faults.MustCheck(fault.SiteBtreeInsert)
+	}
 	newChild, splitKey := t.insert(t.root, key, rid)
 	if newChild != nil {
 		newRoot := &innerNode{
@@ -114,6 +138,11 @@ func (t *Tree) Insert(key sqltypes.Key, rid RID) {
 // the new right sibling plus its separator key.
 func (t *Tree) insert(n node, key sqltypes.Key, rid RID) (node, sqltypes.Key) {
 	if leaf, ok := n.(*leafNode); ok {
+		// Fire the split site before mutating when this insert will
+		// overflow the leaf, so a fault cannot strand a half-split page.
+		if t.faults != nil && len(leaf.keys) >= t.order {
+			t.faults.MustCheck(fault.SiteBtreeSplit)
+		}
 		idx := lowerBound(leaf.keys, key)
 		leaf.keys = insertKeyAt(leaf.keys, idx, key)
 		leaf.rids = insertRIDAt(leaf.rids, idx, rid)
@@ -139,6 +168,11 @@ func (t *Tree) insert(n node, key sqltypes.Key, rid RID) (node, sqltypes.Key) {
 	}
 
 	inner := n.(*innerNode)
+	// A full inner node splits if its child splits; check before descending
+	// so the fault unwinds before either node is touched.
+	if t.faults != nil && len(inner.children) >= t.order {
+		t.faults.MustCheck(fault.SiteBtreeSplit)
+	}
 	ci := childIndex(inner.keys, key)
 	newChild, splitKey := t.insert(inner.children[ci], key, rid)
 	if newChild == nil {
@@ -218,6 +252,9 @@ func (t *Tree) SearchEq(key sqltypes.Key) []Entry {
 // The callback returns false to stop early. Returns the number of leaf pages
 // touched, which the executor charges as IO.
 func (t *Tree) ScanRange(lo, hi sqltypes.Key, loInc, hiInc bool, visit func(Entry) bool) int64 {
+	if t.faults != nil {
+		t.faults.MustCheck(fault.SiteBtreeScan)
+	}
 	var leaf *leafNode
 	if lo == nil {
 		leaf = t.leftmostLeaf()
@@ -341,8 +378,8 @@ func insertNodeAt(s []node, i int, v node) []node {
 // package benchmarks); the win is the resulting tree — deterministic
 // layout, packed pages, zero split debt.
 func BulkBuild(entries []Entry, order int) *Tree {
-	if order < 4 {
-		panic(fmt.Sprintf("btree: order %d too small (min 4)", order))
+	if err := ValidateOrder(order); err != nil {
+		panic(err.Error())
 	}
 	t := &Tree{order: order}
 	if len(entries) == 0 {

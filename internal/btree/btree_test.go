@@ -280,6 +280,19 @@ func TestOrderTooSmallPanics(t *testing.T) {
 	New(2)
 }
 
+func TestValidateOrder(t *testing.T) {
+	for _, order := range []int{-1, 0, 1, 2, 3} {
+		if err := ValidateOrder(order); err == nil {
+			t.Errorf("order %d should be rejected", order)
+		}
+	}
+	for _, order := range []int{4, 8, DefaultOrder, 512} {
+		if err := ValidateOrder(order); err != nil {
+			t.Errorf("order %d should be valid: %v", order, err)
+		}
+	}
+}
+
 func TestBulkBuildMatchesIncremental(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	var entries []Entry

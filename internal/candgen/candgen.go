@@ -1,6 +1,7 @@
 package candgen
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -49,10 +50,15 @@ func NewGenerator(cat *catalog.Catalog) *Generator {
 // Generate runs the full three-step pipeline of §IV-A over a compressed
 // workload: extract expressions per template, derive indexes, then dedup,
 // merge by leftmost prefix, and drop candidates already covered by existing
-// (real) indexes.
-func (g *Generator) Generate(w *workload.Workload) []*Candidate {
+// (real) indexes. Cancellation stops the per-template extraction early; the
+// already-extracted candidates still go through merge/dedup, so a degraded
+// round works with a truncated (never inconsistent) pool.
+func (g *Generator) Generate(ctx context.Context, w *workload.Workload) []*Candidate {
 	byKey := make(map[string]*Candidate)
 	for i := range w.Queries {
+		if ctx.Err() != nil {
+			break
+		}
 		q := &w.Queries[i]
 		for _, raw := range g.extractFromStatement(q.Stmt) {
 			g.addCandidate(byKey, raw, q.Weight)

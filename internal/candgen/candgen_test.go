@@ -1,6 +1,7 @@
 package candgen
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -46,7 +47,7 @@ func generate(t *testing.T, cat *catalog.Catalog, sqls ...string) []*Candidate {
 	for _, s := range sqls {
 		w.MustAdd(s, 1)
 	}
-	return NewGenerator(cat).Generate(w)
+	return NewGenerator(cat).Generate(context.Background(), w)
 }
 
 func keys(cands []*Candidate) []string {
@@ -124,7 +125,7 @@ func TestSelectivityThreshold(t *testing.T) {
 	g.SelectivityThreshold = 0.01 // stricter than status eq sel (0.25)
 	w := &workload.Workload{}
 	w.MustAdd("SELECT * FROM orders WHERE status = 'open'", 1)
-	cands := g.Generate(w)
+	cands := g.Generate(context.Background(), w)
 	if hasKey(cands, "orders(status)") {
 		t.Errorf("status eq sel 0.25 exceeds 0.01 threshold: %v", keys(cands))
 	}
@@ -265,7 +266,7 @@ func TestWeightAggregationAcrossTemplates(t *testing.T) {
 	w := &workload.Workload{}
 	w.MustAdd("SELECT * FROM orders WHERE cid = 1", 100)
 	w.MustAdd("UPDATE orders SET amount = 1 WHERE cid = 2", 50)
-	cands := NewGenerator(cat).Generate(w)
+	cands := NewGenerator(cat).Generate(context.Background(), w)
 	for _, c := range cands {
 		if c.Key() == "orders(cid)" && c.TemplateWeight != 150 {
 			t.Errorf("weights should aggregate: %v", c.TemplateWeight)

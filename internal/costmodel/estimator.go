@@ -1,6 +1,7 @@
 package costmodel
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -52,8 +53,8 @@ type Estimator struct {
 	// cache maps "templateSQL \x00 relevantSubsetKey" → query cost.
 	cache map[string]float64
 	// tables memoizes sqlparser.ReferencedTables per template SQL.
-	tables map[string][]string
-	epoch  cacheEpoch
+	tables                map[string][]string
+	epoch                 cacheEpoch
 	hits, misses, flushes int64
 	// Instruments are nil when detached; obs instruments are nil-safe.
 	mHits, mMisses, mFlushes *obs.Counter
@@ -192,6 +193,15 @@ func (e *Estimator) QueryCost(stmt sqlparser.Statement) (float64, error) {
 // from the set (treated as removed), or candidate specs (hypothetically
 // created).
 func (e *Estimator) WorkloadCost(w *workload.Workload, active []*catalog.IndexMeta) (float64, error) {
+	return e.WorkloadCostContext(context.Background(), w, active)
+}
+
+// WorkloadCostContext is WorkloadCost under a context: the per-query loop
+// (serial or parallel) stops at cancellation and returns ctx.Err(). With a
+// never-cancelled context the ctx checks always see nil, so the result is
+// bit-identical to WorkloadCost — cancellation plumbing adds no
+// nondeterminism.
+func (e *Estimator) WorkloadCostContext(ctx context.Context, w *workload.Workload, active []*catalog.IndexMeta) (float64, error) {
 	restore, err := e.applyConfig(active)
 	if err != nil {
 		return 0, err
@@ -204,10 +214,13 @@ func (e *Estimator) WorkloadCost(w *workload.Workload, active []*catalog.IndexMe
 		lookup = newConfigLookup(active)
 	}
 	if e.Parallelism > 1 && len(w.Queries) > 1 {
-		return e.parallelWorkloadCost(w, lookup)
+		return e.parallelWorkloadCost(ctx, w, lookup)
 	}
 	var total float64
 	for i := range w.Queries {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		q := &w.Queries[i]
 		cost, err := e.queryCost(q, lookup)
 		if err != nil {
@@ -278,7 +291,9 @@ func (e *Estimator) tablesOf(q *workload.Query) []string {
 // the query's slot and the reduction sums in query order — the total is
 // bit-identical to the serial path regardless of scheduling. Errors keep
 // first-error semantics in query order.
-func (e *Estimator) parallelWorkloadCost(w *workload.Workload, lookup *configLookup) (float64, error) {
+// Cancellation stops the feeder and the workers; a cancelled call reports
+// ctx.Err() ahead of any per-query error.
+func (e *Estimator) parallelWorkloadCost(ctx context.Context, w *workload.Workload, lookup *configLookup) (float64, error) {
 	workers := e.Parallelism
 	if workers > len(w.Queries) {
 		workers = len(w.Queries)
@@ -292,15 +307,27 @@ func (e *Estimator) parallelWorkloadCost(w *workload.Workload, lookup *configLoo
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue // drain remaining jobs without planning
+				}
 				costs[i], errs[i] = e.queryCost(&w.Queries[i], lookup)
 			}
 		}()
 	}
+feed:
 	for i := range w.Queries {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed // stop feeding; workers exit once the channel closes
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	for i := range w.Queries {
 		if errs[i] != nil {
 			return 0, fmt.Errorf("costmodel: query %q: %w", w.Queries[i].SQL, errs[i])
@@ -464,11 +491,16 @@ func sanitize(s string) string {
 // Benefit returns cost(W, base) - cost(W, base ∪ {extra}) — the paper's
 // B(I) for one additional index on top of a configuration.
 func (e *Estimator) Benefit(w *workload.Workload, base []*catalog.IndexMeta, extra *catalog.IndexMeta) (float64, error) {
-	before, err := e.WorkloadCost(w, base)
+	return e.BenefitContext(context.Background(), w, base, extra)
+}
+
+// BenefitContext is Benefit under a context (see WorkloadCostContext).
+func (e *Estimator) BenefitContext(ctx context.Context, w *workload.Workload, base []*catalog.IndexMeta, extra *catalog.IndexMeta) (float64, error) {
+	before, err := e.WorkloadCostContext(ctx, w, base)
 	if err != nil {
 		return 0, err
 	}
-	after, err := e.WorkloadCost(w, append(append([]*catalog.IndexMeta{}, base...), extra))
+	after, err := e.WorkloadCostContext(ctx, w, append(append([]*catalog.IndexMeta{}, base...), extra))
 	if err != nil {
 		return 0, err
 	}

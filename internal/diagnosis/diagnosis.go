@@ -6,6 +6,7 @@
 package diagnosis
 
 import (
+	"context"
 	"sort"
 	"strings"
 
@@ -61,7 +62,9 @@ type Report struct {
 // Diagnose classifies indexes for the current window. usage maps index name
 // to probe count; statements is the window's statement count; w is the
 // compressed workload; est prices configurations; gen proposes candidates.
-func Diagnose(cat *catalog.Catalog, usage map[string]int64, statements int64,
+// The context bounds the estimator work; a cancelled diagnosis returns
+// ctx.Err().
+func Diagnose(ctx context.Context, cat *catalog.Catalog, usage map[string]int64, statements int64,
 	w *workload.Workload, est *costmodel.Estimator, gen *candgen.Generator, cfg Config) (*Report, error) {
 
 	cfg = cfg.withDefaults()
@@ -80,7 +83,7 @@ func Diagnose(cat *catalog.Catalog, usage map[string]int64, statements int64,
 
 	// (iii) negative: removing the index lowers estimated cost.
 	if len(w.Queries) > 0 {
-		base, err := est.WorkloadCost(w, current)
+		base, err := est.WorkloadCostContext(ctx, w, current)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +91,7 @@ func Diagnose(cat *catalog.Catalog, usage map[string]int64, statements int64,
 			without := make([]*catalog.IndexMeta, 0, len(current)-1)
 			without = append(without, current[:i]...)
 			without = append(without, current[i+1:]...)
-			c, err := est.WorkloadCost(w, without)
+			c, err := est.WorkloadCostContext(ctx, w, without)
 			if err != nil {
 				return nil, err
 			}
@@ -98,12 +101,12 @@ func Diagnose(cat *catalog.Catalog, usage map[string]int64, statements int64,
 		}
 
 		// (i) beneficial uncreated: top candidates with positive benefit.
-		cands := gen.Generate(w)
+		cands := gen.Generate(ctx, w)
 		if len(cands) > cfg.MaxCandidatesChecked {
 			cands = cands[:cfg.MaxCandidatesChecked]
 		}
 		for _, c := range cands {
-			b, err := est.Benefit(w, current, c.Meta)
+			b, err := est.BenefitContext(ctx, w, current, c.Meta)
 			if err != nil {
 				return nil, err
 			}

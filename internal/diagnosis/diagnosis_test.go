@@ -1,6 +1,7 @@
 package diagnosis
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestDiagnoseBeneficialUncreated(t *testing.T) {
 	db, w := diagDB(t)
 	est := costmodel.NewEstimator(db.Catalog())
 	gen := candgen.NewGenerator(db.Catalog())
-	rep, err := Diagnose(db.Catalog(), db.IndexUsage(), 200, w, est, gen, Config{})
+	rep, err := Diagnose(context.Background(), db.Catalog(), db.IndexUsage(), 200, w, est, gen, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestDiagnoseRarelyUsed(t *testing.T) {
 	}
 	est := costmodel.NewEstimator(db.Catalog())
 	gen := candgen.NewGenerator(db.Catalog())
-	rep, err := Diagnose(db.Catalog(), db.IndexUsage(), db.StatementCount(), w, est, gen, Config{})
+	rep, err := Diagnose(context.Background(), db.Catalog(), db.IndexUsage(), db.StatementCount(), w, est, gen, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestDiagnoseNegativeIndex(t *testing.T) {
 	w.MustAdd("INSERT INTO ev (id, a, b) VALUES (9999999, 1, 2)", 500)
 	est := costmodel.NewEstimator(db.Catalog())
 	gen := candgen.NewGenerator(db.Catalog())
-	rep, err := Diagnose(db.Catalog(), db.IndexUsage(), 500, w, est, gen, Config{})
+	rep, err := Diagnose(context.Background(), db.Catalog(), db.IndexUsage(), 500, w, est, gen, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestDiagnoseHealthySystemQuiet(t *testing.T) {
 	}
 	est := costmodel.NewEstimator(db.Catalog())
 	gen := candgen.NewGenerator(db.Catalog())
-	rep, err := Diagnose(db.Catalog(), db.IndexUsage(), db.StatementCount(), w, est, gen, Config{})
+	rep, err := Diagnose(context.Background(), db.Catalog(), db.IndexUsage(), db.StatementCount(), w, est, gen, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestDiagnoseEmptyWorkload(t *testing.T) {
 	db, _ := diagDB(t)
 	est := costmodel.NewEstimator(db.Catalog())
 	gen := candgen.NewGenerator(db.Catalog())
-	rep, err := Diagnose(db.Catalog(), db.IndexUsage(), 0, &workload.Workload{}, est, gen, Config{})
+	rep, err := Diagnose(context.Background(), db.Catalog(), db.IndexUsage(), 0, &workload.Workload{}, est, gen, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/btree"
 	"repro/internal/catalog"
 	"repro/internal/costparams"
+	"repro/internal/fault"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
@@ -43,6 +44,12 @@ type DB struct {
 	// metrics, when set via SetMetrics, receives engine_* counters and
 	// histograms; nil (the default) keeps the hot path free of them.
 	metrics *dbMetrics
+	// order is the node capacity for index trees (BTreeOrder unless
+	// overridden via NewWithConfig).
+	order int
+	// faults, when armed via SetFaultInjector, is propagated to every heap
+	// and index tree, including ones created later.
+	faults *fault.Injector
 }
 
 // SetObserver installs a statement observer (nil to detach). The observer
@@ -103,8 +110,48 @@ func New() *DB {
 		heaps:      make(map[string]*storage.Heap),
 		indexes:    make(map[string][]*btree.Tree),
 		indexUsage: make(map[string]int64),
+		order:      BTreeOrder,
 	}
 	return db
+}
+
+// Config customizes a database instance.
+type Config struct {
+	// BTreeOrder is the node capacity for index trees. Zero means
+	// DefaultOrder; values below the B+Tree minimum are rejected.
+	BTreeOrder int
+}
+
+// NewWithConfig creates an empty database with the given configuration,
+// validating it at this boundary (btree.New's panic stays an internal
+// invariant for already-validated orders).
+func NewWithConfig(cfg Config) (*DB, error) {
+	order := cfg.BTreeOrder
+	if order == 0 {
+		order = BTreeOrder
+	}
+	if err := btree.ValidateOrder(order); err != nil {
+		return nil, fmt.Errorf("engine: invalid config: %w", err)
+	}
+	db := New()
+	db.order = order
+	return db, nil
+}
+
+// SetFaultInjector arms (or with nil disarms) fault injection across the
+// whole instance: every existing heap and index tree, plus any created
+// later. Faults from paths without an error return surface as panics and are
+// recovered at the ExecStmt boundary.
+func (db *DB) SetFaultInjector(in *fault.Injector) {
+	db.faults = in
+	for _, h := range db.heaps {
+		h.SetFaultInjector(in)
+	}
+	for _, trees := range db.indexes {
+		for _, t := range trees {
+			t.SetFaultInjector(in)
+		}
+	}
 }
 
 // IndexUsage returns a copy of the per-index probe counters.
@@ -148,7 +195,9 @@ func (db *DB) CreateTable(stmt *sqlparser.CreateTableStmt) error {
 		t.PartitionBy = pcol
 		t.Partitions = stmt.Partitions
 	}
-	db.heaps[t.Name] = storage.NewHeap(&db.io)
+	heap := storage.NewHeap(&db.io)
+	heap.SetFaultInjector(db.faults)
+	db.heaps[t.Name] = heap
 	if len(stmt.PrimaryKey) > 0 {
 		return db.createIndex("pk_"+t.Name, t.Name, stmt.PrimaryKey, true, false)
 	}
@@ -182,6 +231,18 @@ func (db *DB) createIndex(name, table string, columns []string, unique, local bo
 	if err := db.cat.AddIndex(meta); err != nil {
 		return err
 	}
+	// From here on the catalog holds the entry: if the build fails — by
+	// error return or by a panic (e.g. an injected fault during the heap
+	// scan) — undo the registration so the catalog is never poisoned with a
+	// half-built index. The panic keeps unwinding to the statement boundary.
+	committed := false
+	defer func() {
+		if committed {
+			return
+		}
+		_ = db.cat.DropIndex(meta.Name)
+		delete(db.indexes, meta.Name)
+	}()
 	nTrees := 1
 	if local {
 		nTrees = t.Partitions
@@ -191,7 +252,6 @@ func (db *DB) createIndex(name, table string, columns []string, unique, local bo
 	for i, c := range lower {
 		col := t.Column(c)
 		if col == nil {
-			_ = db.cat.DropIndex(meta.Name)
 			return fmt.Errorf("engine: unknown column %s.%s", table, c)
 		}
 		positions[i] = col.Pos
@@ -219,11 +279,13 @@ func (db *DB) createIndex(name, table string, columns []string, unique, local bo
 	})
 	trees := make([]*btree.Tree, nTrees)
 	for i := range trees {
-		trees[i] = btree.BulkBuild(entries[i], BTreeOrder)
+		trees[i] = btree.BulkBuild(entries[i], db.order)
+		trees[i].SetFaultInjector(db.faults)
 	}
 	db.indexes[meta.Name] = trees
 	db.refreshIndexMeta(meta, trees, keyBytes)
 	db.monitorIndex(meta.Name, trees)
+	committed = true
 	return nil
 }
 
@@ -467,8 +529,10 @@ func (db *DB) totalSplits() int64 {
 // BulkLoad appends tuples directly to a table's heap and maintains its
 // indexes, bypassing SQL parsing and planning. Loaders use this to build
 // large datasets quickly; per-statement counters are not affected. Tuples
-// must match the table's column order.
-func (db *DB) BulkLoad(table string, rows []sqltypes.Tuple) error {
+// must match the table's column order. Like ExecStmt it is panic-safe, since
+// it runs outside the statement boundary.
+func (db *DB) BulkLoad(table string, rows []sqltypes.Tuple) (err error) {
+	defer db.recoverToError("BulkLoad", nil, &err)
 	t := db.cat.Table(table)
 	if t == nil {
 		return fmt.Errorf("engine: unknown table %q", table)

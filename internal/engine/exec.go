@@ -25,13 +25,22 @@ func (db *DB) Exec(sql string) (*Result, error) {
 }
 
 // ExecStmt executes a parsed statement, returning rows (for reads) and the
-// measured ExecStats.
-func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
+// measured ExecStats. It is panic-safe: internal panics (including injected
+// faults surfacing from paths without an error return) are recovered here and
+// returned as errors, so one poisoned statement cannot kill the process.
+func (db *DB) ExecStmt(stmt sqlparser.Statement) (res *Result, err error) {
 	db.resetStatementCounters()
 	db.statements++
 	splitsBefore := db.totalSplits()
-	var res *Result
-	var err error
+	// LIFO: recoverToError runs first and settles err, then the metrics
+	// defer counts the failure (covering both returned and recovered errors).
+	defer func() {
+		if err != nil && db.metrics != nil {
+			db.metrics.stmtTotal.Inc()
+			db.metrics.stmtErrors.Inc()
+		}
+	}()
+	defer db.recoverToError("ExecStmt", &res, &err)
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
 		res, err = db.execSelect(s)
@@ -56,10 +65,6 @@ func (db *DB) ExecStmt(stmt sqlparser.Statement) (*Result, error) {
 		err = fmt.Errorf("engine: unsupported statement %T", stmt)
 	}
 	if err != nil {
-		if db.metrics != nil {
-			db.metrics.stmtTotal.Inc()
-			db.metrics.stmtErrors.Inc()
-		}
 		return nil, err
 	}
 	affected := res.Stats.RowsAffected

@@ -17,9 +17,10 @@ var stmtCostBuckets = []float64{
 type dbMetrics struct {
 	reg *obs.Registry
 
-	stmtTotal  *obs.Counter
-	stmtErrors *obs.Counter
-	stmtCost   *obs.Histogram
+	stmtTotal      *obs.Counter
+	stmtErrors     *obs.Counter
+	stmtCost       *obs.Histogram
+	internalPanics *obs.Counter
 
 	heapPagesRead     *obs.Counter
 	heapPagesWritten  *obs.Counter
@@ -58,6 +59,8 @@ func (db *DB) SetMetrics(reg *obs.Registry) {
 		stmtErrors: reg.Counter("engine_statement_errors_total", "Statements that returned an error"),
 		stmtCost: reg.Histogram("engine_statement_cost",
 			"Per-statement deterministic cost units (latency proxy)", stmtCostBuckets),
+		internalPanics: reg.Counter("engine_internal_panics_total",
+			"Panics recovered at the statement boundary and returned as *InternalError"),
 		heapPagesRead:     reg.Counter("engine_heap_pages_read_total", "Heap pages read"),
 		heapPagesWritten:  reg.Counter("engine_heap_pages_written_total", "Heap pages written"),
 		indexPagesRead:    reg.Counter("engine_index_pages_read_total", "Index pages read"),

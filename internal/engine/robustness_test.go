@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+func TestNewWithConfigValidatesOrder(t *testing.T) {
+	for _, order := range []int{1, 2, 3} {
+		if _, err := NewWithConfig(Config{BTreeOrder: order}); err == nil {
+			t.Errorf("order %d must be rejected at the config boundary", order)
+		}
+	}
+	db, err := NewWithConfig(Config{BTreeOrder: 0}) // 0 = DefaultOrder
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("CREATE TABLE t (id BIGINT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+
+	db8, err := NewWithConfig(Config{BTreeOrder: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db8.Exec("CREATE TABLE t (id BIGINT, v BIGINT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db8.Exec(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, %d)", i, i%7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db8.Exec("CREATE INDEX idx_v ON t (v)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db8.Exec("SELECT id FROM t WHERE v = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Error("order-8 trees should answer queries")
+	}
+}
+
+func TestInjectedFaultSurfacesAsErrorNotPanic(t *testing.T) {
+	db := New()
+	if _, err := db.Exec("CREATE TABLE t (id BIGINT, v BIGINT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, %d)", i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.SetFaultInjector(fault.New(1, fault.Rule{
+		Site: fault.SitePageRead, Kind: fault.KindIO, Nth: 1,
+	}))
+	_, err := db.Exec("SELECT v FROM t WHERE v = 5") // seq scan hits page_read
+	if err == nil {
+		t.Fatal("armed page-read fault should fail the statement")
+	}
+	if fault.AsFault(err) == nil {
+		t.Fatalf("fault must surface as *fault.Error, got %T: %v", err, err)
+	}
+	// Single-shot rule: the engine keeps working afterwards.
+	if _, err := db.Exec("SELECT v FROM t WHERE v = 5"); err != nil {
+		t.Fatalf("engine should recover after the injected fault: %v", err)
+	}
+}
+
+func TestRecoverToErrorConvertsPanicToInternalError(t *testing.T) {
+	db := New()
+	reg := obs.NewRegistry()
+	db.SetMetrics(reg)
+
+	var res *Result
+	var err error
+	func() {
+		defer db.recoverToError("TestOp", &res, &err)
+		res = &Result{}
+		panic("invariant blown")
+	}()
+	if res != nil {
+		t.Error("result must be cleared on panic")
+	}
+	ie := AsInternal(err)
+	if ie == nil {
+		t.Fatalf("want *InternalError, got %v", err)
+	}
+	if ie.Op != "TestOp" || !strings.Contains(ie.Error(), "invariant blown") {
+		t.Errorf("internal error lost context: %v", ie)
+	}
+	if ie.Stack == "" {
+		t.Error("internal error should capture the stack")
+	}
+	if got := reg.Counter("engine_internal_panics_total", "").Value(); got != 1 {
+		t.Errorf("engine_internal_panics_total = %d, want 1", got)
+	}
+}
+
+func TestRecoverToErrorPassesFaultsThrough(t *testing.T) {
+	db := New()
+	reg := obs.NewRegistry()
+	db.SetMetrics(reg)
+
+	fe := &fault.Error{Site: fault.SitePageRead, Kind: fault.KindIO, Call: 7}
+	var err error
+	func() {
+		defer db.recoverToError("TestOp", nil, &err)
+		panic(fe)
+	}()
+	if err != fe {
+		t.Fatalf("fault panics must come back as themselves: %v", err)
+	}
+	if AsInternal(err) != nil {
+		t.Error("an injected fault is not an internal panic")
+	}
+	if got := reg.Counter("engine_internal_panics_total", "").Value(); got != 0 {
+		t.Errorf("fault passthrough must not count as an internal panic: %d", got)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/autoindex"
@@ -40,7 +41,7 @@ func Fig8TemplateOverhead(seed int64, txns int) (*Fig8Result, error) {
 			return nil, err
 		}
 		out.Statements = len(warm)
-		m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+		m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 		harness.Run(db, warm)
 
 		start := time.Now()
@@ -48,11 +49,11 @@ func Fig8TemplateOverhead(seed int64, txns int) (*Fig8Result, error) {
 		if err := observeAll(m, warm); err != nil {
 			return nil, err
 		}
-		rec, err := m.Recommend()
+		rec, err := m.Recommend(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		if _, _, err := m.Apply(rec); err != nil {
+		if _, err := m.Apply(context.Background(), rec); err != nil {
 			return nil, err
 		}
 		out.TemplateTuneMs = time.Since(start).Milliseconds()

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/autoindex"
@@ -62,12 +63,12 @@ func WriteCostAwareness(seed int64) (*WriteAwarenessResult, error) {
 		if _, err := db.Exec("CREATE INDEX idx_comm ON person (community)"); err != nil {
 			return false, err
 		}
-		m := autoindex.New(db, autoindex.Options{MCTS: mcts.Config{Iterations: 150, Seed: seed}})
+		m := autoindex.New(db, autoindex.Options{MCTS: mcts.Config{Iterations: 150, Seed: seed}, RoundTimeout: RoundTimeout})
 		m.Estimator().IgnoreWriteCosts = ignoreWrites
 		if _, err := harness.RunAndObserve(db, l.W2(600), m.Observe); err != nil {
 			return false, err
 		}
-		rec, err := m.Recommend()
+		rec, err := m.Recommend(context.Background())
 		if err != nil {
 			return false, err
 		}
@@ -113,7 +114,7 @@ func GammaSweep(seed int64, gammas []float64) ([]GammaSweepPoint, error) {
 			Columns: []string{fmt.Sprintf("c%d", i)}, SizeBytes: 100, Hypothetical: true,
 		}
 	}
-	eval := mcts.EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+	eval := mcts.EvaluatorFunc(func(_ context.Context, active []*catalog.IndexMeta) (float64, error) {
 		cost := 1000.0
 		has := make(map[string]bool, len(active))
 		for _, m := range active {
@@ -135,7 +136,7 @@ func GammaSweep(seed int64, gammas []float64) ([]GammaSweepPoint, error) {
 	})
 	var out []GammaSweepPoint
 	for _, g := range gammas {
-		res, err := mcts.Search(eval, nil, specs, mcts.Config{
+		res, err := mcts.Search(context.Background(), eval, nil, specs, mcts.Config{
 			Gamma: g, Iterations: 120, Rollouts: 2, Seed: seed,
 		})
 		if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/autoindex"
@@ -39,7 +40,7 @@ func Fig1BankingRemoval(seed int64, stmtsPerPhase int) (*Fig1Result, error) {
 	out := &Fig1Result{}
 	out.IndexesBefore, out.BytesBefore = secondaryIndexStats(db.Catalog())
 
-	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 	db.ResetUsage()
 
 	// Phase 1: measure the default configuration under the service while
@@ -55,18 +56,18 @@ func Fig1BankingRemoval(seed int64, stmtsPerPhase int) (*Fig1Result, error) {
 	// Tune: bulk prune of unused/neutral indexes, then MCTS refinement.
 	start := time.Now()
 	w := m.TemplateStore().Workload()
-	drops, err := m.PruneRecommendation(w)
+	drops, err := m.PruneRecommendation(context.Background(), w)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := m.ApplyDrops(drops); err != nil {
+	if _, err := m.ApplyDrops(context.Background(), drops); err != nil {
 		return nil, err
 	}
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := m.Apply(rec); err != nil {
+	if _, err := m.Apply(context.Background(), rec); err != nil {
 		return nil, err
 	}
 	out.TuneMillis = time.Since(start).Milliseconds()
@@ -113,7 +114,7 @@ func Table2Table3BankingCreation(seed int64, stmtsPerService int) (*Table2Result
 		return nil, nil, err
 	}
 
-	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 
 	summ := l.SummarizationService(stmtsPerService)
 	withd := l.WithdrawalService(stmtsPerService)
@@ -129,11 +130,11 @@ func Table2Table3BankingCreation(seed int64, stmtsPerService int) (*Table2Result
 
 	_, bytesBefore := secondaryIndexStats(db.Catalog())
 	start := time.Now()
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		return nil, nil, err
 	}
-	created, _, err := m.Apply(rec)
+	applyRep, err := m.Apply(context.Background(), rec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -144,7 +145,7 @@ func Table2Table3BankingCreation(seed int64, stmtsPerService int) (*Table2Result
 	wdAfter := harness.Run(db, l.WithdrawalService(stmtsPerService))
 
 	t2 := &Table2Result{
-		IndexesAdded:           created,
+		IndexesAdded:           len(applyRep.Created),
 		BytesAdded:             bytesAfter - bytesBefore,
 		SummarizationTpsBefore: sumBefore.Throughput(),
 		SummarizationTpsAfter:  sumAfter.Throughput(),

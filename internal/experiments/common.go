@@ -10,6 +10,7 @@ package experiments
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/autoindex"
 	"repro/internal/baseline"
@@ -46,6 +47,12 @@ func (m MethodResult) String() string {
 func defaultMCTS(seed int64) mcts.Config {
 	return mcts.Config{Iterations: 400, Rollouts: 5, Seed: seed, EarlyStopRounds: 120}
 }
+
+// RoundTimeout bounds each tuning round's search in every experiment
+// (0 = unbounded). benchrunner's -round-timeout flag sets it before any
+// experiment runs; rounds that hit the deadline apply the best-so-far
+// recommendation, flagged degraded.
+var RoundTimeout time.Duration
 
 // secondaryIndexStats counts non-PK real indexes and their footprint.
 func secondaryIndexStats(cat *catalog.Catalog) (int, int64) {

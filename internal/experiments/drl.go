@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/autoindex"
@@ -38,13 +39,13 @@ func DRLComparison(seed int64) (*DRLComparisonResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 	if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
 		return nil, err
 	}
 	w := m.TemplateStore().Workload()
 	est, gen := newGreedyTools(db)
-	cands := gen.Generate(w)
+	cands := gen.Generate(context.Background(), w)
 	if len(cands) > 12 {
 		cands = cands[:12] // keep the RL state space tabular-tractable
 	}
@@ -62,7 +63,7 @@ func DRLComparison(seed int64) (*DRLComparisonResult, error) {
 
 	// MCTS.
 	start := time.Now()
-	mres, err := mcts.Search(mcts.EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+	mres, err := mcts.Search(context.Background(), mcts.EvaluatorFunc(func(_ context.Context, active []*catalog.IndexMeta) (float64, error) {
 		return est.WorkloadCost(w, active)
 	}), nil, pool, defaultMCTS(seed))
 	if err != nil {
@@ -90,7 +91,7 @@ func DRLComparison(seed int64) (*DRLComparisonResult, error) {
 		Name: "planted_hot", Table: "stock", Columns: []string{"s_ytd"},
 		Hypothetical: true, NumTuples: 10000, Height: 2, SizeBytes: 200000,
 	}
-	rres, err := mcts.Search(mcts.EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+	rres, err := mcts.Search(context.Background(), mcts.EvaluatorFunc(func(_ context.Context, active []*catalog.IndexMeta) (float64, error) {
 		return est.WorkloadCost(w, active)
 	}), []*catalog.IndexMeta{harmful}, pool, defaultMCTS(seed))
 	if err != nil {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -109,11 +110,11 @@ func IndexTypeSelection(seed int64) (*PartTypeResult, error) {
 		if err != nil {
 			return "", err
 		}
-		m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+		m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 		if _, err := harness.RunAndObserve(db, workload, m.Observe); err != nil {
 			return "", err
 		}
-		rec, err := m.Recommend()
+		rec, err := m.Recommend(context.Background())
 		if err != nil {
 			return "", err
 		}

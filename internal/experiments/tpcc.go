@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -58,7 +59,7 @@ func Fig5TPCC(p Fig5Params) (*Fig5Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		m := autoindex.New(db, autoindex.Options{}) // template store reused for fairness
+		m := autoindex.New(db, autoindex.Options{RoundTimeout: RoundTimeout}) // template store reused for fairness
 		if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
 			return nil, err
 		}
@@ -87,16 +88,16 @@ func Fig5TPCC(p Fig5Params) (*Fig5Result, error) {
 			return nil, err
 		}
 		m := autoindex.New(db, autoindex.Options{
-			Budget: p.Budget, MCTS: defaultMCTS(p.Seed)})
+			Budget: p.Budget, MCTS: defaultMCTS(p.Seed), RoundTimeout: RoundTimeout})
 		if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
 			return nil, err
 		}
 		start := time.Now()
-		rec, err := m.Recommend()
+		rec, err := m.Recommend(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		if _, _, err := m.Apply(rec); err != nil {
+		if _, err := m.Apply(context.Background(), rec); err != nil {
 			return nil, err
 		}
 		tune := time.Since(start)
@@ -144,7 +145,7 @@ func Table1AddedIndexes(seed int64) ([]Table1Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 	if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
 		return nil, err
 	}
@@ -167,7 +168,7 @@ func Table1AddedIndexes(seed int64) ([]Table1Row, error) {
 	}
 
 	// AutoIndex selection with per-index marginal benefits.
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -228,9 +229,9 @@ func Fig9Dynamic(seed int64, txnsPerEpoch int) ([]Fig9Epoch, error) {
 			// Forecast mode (paper §IV-C): tuning rounds weight templates by
 			// their EWMA trend, shortening the adaptation lag on mix swings.
 			st.mgr = autoindex.New(db, autoindex.Options{
-				MCTS: defaultMCTS(seed), UseForecast: true})
+				MCTS: defaultMCTS(seed), UseForecast: true, RoundTimeout: RoundTimeout})
 		default:
-			st.mgr = autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+			st.mgr = autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 		}
 		return st, nil
 	}
@@ -282,11 +283,11 @@ func Fig9Dynamic(seed int64, txnsPerEpoch int) ([]Fig9Epoch, error) {
 				}
 				start := time.Now()
 				st.mgr.CloseWindow() // trend boundary (forecast variant)
-				rec, err := st.mgr.Recommend()
+				rec, err := st.mgr.Recommend(context.Background())
 				if err != nil {
 					return nil, err
 				}
-				if _, _, err := st.mgr.Apply(rec); err != nil {
+				if _, err := st.mgr.Apply(context.Background(), rec); err != nil {
 					return nil, err
 				}
 				tune = time.Since(start)
@@ -323,11 +324,11 @@ func Fig10StorageBudgets(seed int64, scale int) ([]Fig10Budget, error) {
 	if err != nil {
 		return nil, err
 	}
-	mProbe := autoindex.New(dbProbe, autoindex.Options{MCTS: defaultMCTS(seed)})
+	mProbe := autoindex.New(dbProbe, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 	if _, err := harness.RunAndObserve(dbProbe, warmProbe, mProbe.Observe); err != nil {
 		return nil, err
 	}
-	recProbe, err := mProbe.Recommend()
+	recProbe, err := mProbe.Recommend(context.Background())
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +356,7 @@ func Fig10StorageBudgets(seed int64, scale int) ([]Fig10Budget, error) {
 			if err != nil {
 				return nil, err
 			}
-			m := autoindex.New(db, autoindex.Options{})
+			m := autoindex.New(db, autoindex.Options{RoundTimeout: RoundTimeout})
 			if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
 				return nil, err
 			}
@@ -383,16 +384,16 @@ func Fig10StorageBudgets(seed int64, scale int) ([]Fig10Budget, error) {
 			if err != nil {
 				return nil, err
 			}
-			m := autoindex.New(db, autoindex.Options{Budget: b.Budget, MCTS: defaultMCTS(seed)})
+			m := autoindex.New(db, autoindex.Options{Budget: b.Budget, MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 			if _, err := harness.RunAndObserve(db, warm, m.Observe); err != nil {
 				return nil, err
 			}
 			start := time.Now()
-			rec, err := m.Recommend()
+			rec, err := m.Recommend(context.Background())
 			if err != nil {
 				return nil, err
 			}
-			if _, _, err := m.Apply(rec); err != nil {
+			if _, err := m.Apply(context.Background(), rec); err != nil {
 				return nil, err
 			}
 			tune := time.Since(start)

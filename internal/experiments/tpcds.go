@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/autoindex"
@@ -75,7 +76,7 @@ func Fig6TPCDS(seed int64) (*Fig6Result, error) {
 		if err := tpcds.NewLoader(seed).Load(db); err != nil {
 			return nil, err
 		}
-		m := autoindex.New(db, autoindex.Options{})
+		m := autoindex.New(db, autoindex.Options{RoundTimeout: RoundTimeout})
 		if err := observeAll(m, stmts); err != nil {
 			return nil, err
 		}
@@ -102,15 +103,15 @@ func Fig6TPCDS(seed int64) (*Fig6Result, error) {
 		if err := tpcds.NewLoader(seed).Load(db); err != nil {
 			return nil, err
 		}
-		m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+		m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 		if err := observeAll(m, stmts); err != nil {
 			return nil, err
 		}
-		rec, err := m.Recommend()
+		rec, err := m.Recommend(context.Background())
 		if err != nil {
 			return nil, err
 		}
-		if _, _, err := m.Apply(rec); err != nil {
+		if _, err := m.Apply(context.Background(), rec); err != nil {
 			return nil, err
 		}
 		out.AutoIndexCount = len(rec.Create)
@@ -183,12 +184,12 @@ func Q32Correlated(seed int64) (*Q32Result, error) {
 	if err := tpcds.NewLoader(seed).Load(db); err != nil {
 		return nil, err
 	}
-	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed)})
+	m := autoindex.New(db, autoindex.Options{MCTS: defaultMCTS(seed), RoundTimeout: RoundTimeout})
 	if err := m.Observe(q); err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	rec, err := m.Recommend()
+	rec, err := m.Recommend(context.Background())
 	if err != nil {
 		return nil, err
 	}

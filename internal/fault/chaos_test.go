@@ -1,0 +1,232 @@
+// Chaos harness: full tuning rounds under seeded fault schedules. The
+// invariant under test is the transactional-apply contract — after every
+// round, the live index set matches exactly the pre-apply or the post-apply
+// configuration, never a half-applied mix — plus the ledger contract that a
+// failed apply is recorded, not silently skipped.
+package fault_test
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/autoindex"
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/mcts"
+)
+
+// chaosDB builds a table with enough pages (4000 rows / 64 per page ≈ 63
+// heap pages) that an Nth-page-read rule lands inside a CREATE INDEX scan,
+// plus a manager that has observed a read-heavy workload.
+func chaosDB(t testing.TB, seed int64) (*engine.DB, *autoindex.Manager) {
+	t.Helper()
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE ev (id BIGINT, user_id BIGINT, kind TEXT, score DOUBLE, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4000; i++ {
+		if _, err := db.Exec(fmt.Sprintf(
+			"INSERT INTO ev (id, user_id, kind, score) VALUES (%d, %d, 'k%d', %d.0)",
+			i, i%800, i%6, i%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.AnalyzeAll(); err != nil {
+		t.Fatal(err)
+	}
+	m := autoindex.New(db, autoindex.Options{
+		MCTS: mcts.Config{Iterations: 60, Rollouts: 2, Seed: seed, EarlyStopRounds: 20},
+	})
+	for i := 0; i < 300; i++ {
+		sql := fmt.Sprintf("SELECT score FROM ev WHERE user_id = %d", i%800)
+		if err := m.Observe(sql); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Exec(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, m
+}
+
+func indexSet(db *engine.DB) []string {
+	var names []string
+	for _, m := range db.Catalog().Indexes(false) {
+		names = append(names, m.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func equalSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChaosMidCreateFaultRollsBackExactly injects a hard IO fault inside the
+// heap scan that builds a recommended index, across three seeded schedules.
+// The apply must fail, roll back, restore the exact pre-apply index set, and
+// land in the benefit ledger as a Failed outcome.
+func TestChaosMidCreateFaultRollsBackExactly(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			db, m := chaosDB(t, seed)
+			rec := &autoindex.Recommendation{Create: []*catalog.IndexMeta{
+				{Table: "ev", Columns: []string{"user_id"}},
+			}}
+			before := indexSet(db)
+
+			// Nth varies with the seed so the fault lands on a different page
+			// of the create's heap scan in each schedule.
+			in := fault.New(seed, fault.Rule{
+				Site: fault.SitePageRead, Kind: fault.KindIO, Nth: 2 + 7*seed,
+			})
+			db.SetFaultInjector(in)
+
+			rep, err := m.Apply(context.Background(), rec)
+			if err == nil {
+				t.Fatalf("apply should fail under the %d-th page-read fault", 2+7*seed)
+			}
+			if fault.AsFault(err) == nil {
+				t.Fatalf("failure should unwrap to the injected fault: %v", err)
+			}
+			if !rep.RolledBack {
+				t.Error("report should record the rollback")
+			}
+			if rep.RollbackErr != nil {
+				t.Fatalf("single-shot schedule: rollback must succeed: %v", rep.RollbackErr)
+			}
+			if after := indexSet(db); !equalSets(before, after) {
+				t.Errorf("index set changed across failed apply:\nbefore=%v\nafter =%v", before, after)
+			}
+
+			outs := m.Outcomes()
+			if len(outs) == 0 {
+				t.Fatal("failed apply must appear in the benefit ledger")
+			}
+			last := outs[len(outs)-1]
+			if !last.Failed || !last.RolledBack || last.Error == "" {
+				t.Errorf("ledger entry should be Failed+RolledBack with the error: %+v", last)
+			}
+			if !last.Complete {
+				t.Error("failed outcomes are born complete (nothing to measure)")
+			}
+
+			// The engine must still answer queries after the chaos.
+			if _, err := db.Exec("SELECT score FROM ev WHERE user_id = 17"); err != nil {
+				t.Fatalf("engine broken after rollback: %v", err)
+			}
+		})
+	}
+}
+
+// TestChaosDropRollbackRebuildsDroppedIndex drops a real index and then hits
+// a fault during the subsequent create: the rollback must rebuild the
+// dropped index from its recorded spec and remove the half-created one.
+func TestChaosDropRollbackRebuildsDroppedIndex(t *testing.T) {
+	db, m := chaosDB(t, 1)
+	if _, err := db.Exec("CREATE INDEX idx_kind ON ev (kind)"); err != nil {
+		t.Fatal(err)
+	}
+	before := indexSet(db)
+
+	rec := &autoindex.Recommendation{
+		Drop: []string{"idx_kind"},
+		Create: []*catalog.IndexMeta{
+			{Table: "ev", Columns: []string{"user_id"}},
+		},
+	}
+	in := fault.New(1, fault.Rule{Site: fault.SitePageRead, Kind: fault.KindIO, Nth: 5})
+	db.SetFaultInjector(in)
+
+	rep, err := m.Apply(context.Background(), rec)
+	if err == nil {
+		t.Fatal("apply should fail during the create scan")
+	}
+	if !rep.RolledBack || rep.RollbackErr != nil {
+		t.Fatalf("rollback should run and succeed: rolledBack=%v err=%v", rep.RolledBack, rep.RollbackErr)
+	}
+	if len(rep.Dropped) != 1 || rep.Dropped[0].Name != "idx_kind" {
+		t.Fatalf("report should carry the dropped index's spec: %+v", rep.Dropped)
+	}
+
+	meta := db.Catalog().Index("idx_kind")
+	if meta == nil {
+		t.Fatal("rollback must rebuild the dropped index")
+	}
+	if len(meta.Columns) != 1 || meta.Columns[0] != "kind" {
+		t.Errorf("rebuilt index lost its spec: %+v", meta.Columns)
+	}
+	if db.Catalog().Index("ai_ev_user_id") != nil {
+		t.Error("the failed create must not survive")
+	}
+	if after := indexSet(db); !equalSets(before, after) {
+		t.Errorf("index set changed across failed apply:\nbefore=%v\nafter =%v", before, after)
+	}
+	// The rebuilt index must be live, not just cataloged.
+	if _, err := db.Exec("SELECT id FROM ev WHERE kind = 'k3'"); err != nil {
+		t.Fatalf("query via rebuilt index failed: %v", err)
+	}
+}
+
+// TestChaosFullTuningRoundsInvariant runs the complete tuning round
+// (diagnose skipped via force, recommend, transactional apply) under mixed
+// seeded schedules — transient page-write noise plus a hard Nth read fault —
+// and asserts the all-or-nothing invariant for whatever outcome each
+// schedule produces.
+func TestChaosFullTuningRoundsInvariant(t *testing.T) {
+	failures := 0
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			db, m := chaosDB(t, seed)
+			before := indexSet(db)
+
+			in := fault.New(seed,
+				// Retryable write noise: apply's retry loop should absorb it.
+				fault.Rule{Site: fault.SitePageWrite, Kind: fault.KindTransient, Probability: 0.05, Limit: 1},
+				// One hard fault somewhere in the create's ~63-page scan.
+				fault.Rule{Site: fault.SitePageRead, Kind: fault.KindIO, Nth: 11 * seed},
+			)
+			db.SetFaultInjector(in)
+
+			rec, err := m.Tune(context.Background(), true)
+			after := indexSet(db)
+			if err != nil {
+				failures++
+				// Failed round: the config must be exactly the pre-apply one.
+				if !equalSets(before, after) {
+					t.Errorf("failed round left a partial config:\nbefore=%v\nafter =%v", before, after)
+				}
+				outs := m.Outcomes()
+				if len(outs) == 0 || !outs[len(outs)-1].Failed {
+					t.Error("failed round missing from the benefit ledger")
+				}
+				return
+			}
+			// Successful round: every planned drop is gone and the set is the
+			// post-apply config (no dangling half-creates possible: creates
+			// are recorded only after their statement commits).
+			for _, name := range rec.Drop {
+				if db.Catalog().Index(name) != nil {
+					t.Errorf("dropped index %s still present", name)
+				}
+			}
+			if _, err := db.Exec("SELECT score FROM ev WHERE user_id = 3"); err != nil {
+				t.Fatalf("engine broken after round: %v", err)
+			}
+		})
+	}
+	if failures == 0 {
+		t.Error("chaos schedules should fail at least one round's apply (Nth read faults land in the create scan)")
+	}
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, lint.CtxFirst,
+		"internal/lint/testdata/src/ctxfirst/autoindex",
+		"internal/lint/testdata/src/ctxfirst/otherpkg",
+	)
+}

@@ -18,6 +18,7 @@ func All() []*analysis.Analyzer {
 		NilSafeObs,
 		FloatCostEq,
 		SeededRand,
+		CtxFirst,
 	}
 }
 

@@ -1,0 +1,51 @@
+// Package autoindex is a ctxfirst fixture: its import-path base matches the
+// real tune/apply-path package, so the analyzer applies both rules here.
+package autoindex
+
+import "context"
+
+// Flagged: exported with the context buried behind another parameter.
+func Tune(force bool, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return helper(ctx)
+}
+
+// Allowed: exported, context first.
+func Apply(ctx context.Context, names []string) error {
+	return helper(ctx)
+}
+
+// Allowed: unexported functions may order parameters freely (rule A is the
+// exported-API convention)...
+func retryLoop(attempts int, ctx context.Context) error {
+	// ...but rule B still applies: a threaded context must not be replaced.
+	return helper(context.Background()) // want "discards the threaded context"
+}
+
+// Flagged: context.TODO is the same detachment as Background.
+func drop(ctx context.Context, name string) error {
+	return helper(context.TODO()) // want "discards the threaded context"
+}
+
+// Allowed: no context in scope, Background is the legitimate root.
+func LegacyEntry() error {
+	return helper(context.Background())
+}
+
+// Closures inherit the enclosing scope: this one runs inside a ctx-taking
+// function, so minting Background inside it is flagged too.
+func prune(ctx context.Context) error {
+	do := func() error {
+		return helper(context.Background()) // want "discards the threaded context"
+	}
+	return do()
+}
+
+// A closure with its own context parameter brings one into scope even when
+// the enclosing function has none.
+func makeEval() func(context.Context) error {
+	return func(evalCtx context.Context) error {
+		return helper(context.Background()) // want "discards the threaded context"
+	}
+}
+
+func helper(ctx context.Context) error { return ctx.Err() }

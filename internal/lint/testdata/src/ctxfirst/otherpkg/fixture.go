@@ -1,0 +1,12 @@
+// Package otherpkg is a ctxfirst fixture off the tune/apply path: neither
+// rule applies outside the target packages.
+package otherpkg
+
+import "context"
+
+// Allowed everywhere below: otherpkg is not a tune/apply-path package.
+func Run(verbose bool, ctx context.Context) error {
+	return poll(context.Background())
+}
+
+func poll(ctx context.Context) error { return ctx.Err() }

@@ -1,6 +1,9 @@
 package mcts
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 // BenchmarkSearchSyntheticLandscape measures one full search over a random
 // 10-candidate landscape with a memoized evaluator — the pure orchestration
@@ -8,7 +11,7 @@ import "testing"
 func BenchmarkSearchSyntheticLandscape(b *testing.B) {
 	l := newLandscape(10, 5)
 	for i := 0; i < b.N; i++ {
-		if _, err := Search(l.evaluator(), nil, l.specs,
+		if _, err := Search(context.Background(), l.evaluator(), nil, l.specs,
 			Config{Iterations: 200, Rollouts: 4, Seed: int64(i + 1)}); err != nil {
 			b.Fatal(err)
 		}
@@ -19,7 +22,7 @@ func BenchmarkSearchSyntheticLandscape(b *testing.B) {
 func BenchmarkSearchWideCandidatePool(b *testing.B) {
 	l := newLandscape(24, 9)
 	for i := 0; i < b.N; i++ {
-		if _, err := Search(l.evaluator(), nil, l.specs,
+		if _, err := Search(context.Background(), l.evaluator(), nil, l.specs,
 			Config{Iterations: 300, Rollouts: 5, Seed: int64(i + 1)}); err != nil {
 			b.Fatal(err)
 		}

@@ -13,6 +13,8 @@
 package mcts
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,17 +27,19 @@ import (
 )
 
 // Evaluator prices a whole workload under a hypothetical index set. The
-// AutoIndex pipeline adapts costmodel.Estimator to this.
+// AutoIndex pipeline adapts costmodel.Estimator to this. Implementations
+// should honor ctx cancellation and return ctx.Err(); the search treats such
+// errors as a deadline, not a failure.
 type Evaluator interface {
-	WorkloadCost(active []*catalog.IndexMeta) (float64, error)
+	WorkloadCost(ctx context.Context, active []*catalog.IndexMeta) (float64, error)
 }
 
 // EvaluatorFunc adapts a closure to Evaluator.
-type EvaluatorFunc func(active []*catalog.IndexMeta) (float64, error)
+type EvaluatorFunc func(ctx context.Context, active []*catalog.IndexMeta) (float64, error)
 
 // WorkloadCost implements Evaluator.
-func (f EvaluatorFunc) WorkloadCost(active []*catalog.IndexMeta) (float64, error) {
-	return f(active)
+func (f EvaluatorFunc) WorkloadCost(ctx context.Context, active []*catalog.IndexMeta) (float64, error) {
+	return f(ctx, active)
 }
 
 // Config tunes the search.
@@ -135,6 +139,10 @@ type Result struct {
 	// Trajectory records each strict improvement of the incumbent best
 	// configuration: the best-reward curve of the search.
 	Trajectory []TrajectoryPoint
+	// Degraded reports that the search stopped early on context
+	// cancellation or deadline and the result is the best-so-far
+	// configuration rather than a fully converged one.
+	Degraded bool
 }
 
 // TrajectoryPoint is one best-reward improvement during the search.
@@ -151,11 +159,19 @@ func (r *Result) Benefit() float64 { return r.BaseCost - r.BestCost }
 
 // Search runs MCTS from the existing index set over the candidate pool.
 // Existing must not contain primary-key indexes (they are not actionable).
-func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Config) (*Result, error) {
+//
+// The context bounds the search: cancellation is checked between iterations
+// (and inside the evaluator), and on deadline the best-so-far configuration
+// is returned with Result.Degraded set — never an error — so a tuning round
+// overruns its deadline by at most the iteration in flight. A
+// never-cancelled context adds zero nondeterminism: every ctx check sees
+// nil and the search is byte-identical to an unbounded one.
+func Search(ctx context.Context, eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	s := &searcher{
+		ctx:        ctx,
 		eval:       eval,
 		candidates: candidates,
 		cfg:        cfg,
@@ -191,10 +207,19 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 		return floatcmp.LessEq(cost, bestCost) && size < best.size
 	}
 
+	degraded := false
 	for i := 0; i < cfg.Iterations; i++ {
+		if ctx.Err() != nil {
+			degraded = true
+			break
+		}
 		iters++
 		leaf, err := s.selectAndExpand(root)
 		if err != nil {
+			if isCtxErr(err) {
+				degraded = true
+				break
+			}
 			return nil, err
 		}
 		if leaf == nil {
@@ -203,6 +228,10 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 		expansions++
 		benefit, bn, bc, err := s.rollout(leaf)
 		if err != nil {
+			if isCtxErr(err) {
+				degraded = true
+				break
+			}
 			return nil, err
 		}
 		// Track the globally best evaluated configuration.
@@ -237,6 +266,7 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 		Iterations:  iters,
 		SizeBytes:   best.size,
 		Trajectory:  trajectory,
+		Degraded:    degraded,
 	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.Counter("mcts_searches_total", "MCTS searches run").Inc()
@@ -251,6 +281,7 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 	cfg.Span.SetAttr("config_cache_hits", s.cacheHits)
 	cfg.Span.SetAttr("base_cost", baseCost)
 	cfg.Span.SetAttr("best_cost", bestCost)
+	cfg.Span.SetAttr("degraded", degraded)
 	initial := keySet(existing)
 	final := keySet(best.indexes)
 	for _, k := range sortedKeys(final) {
@@ -266,7 +297,14 @@ func Search(eval Evaluator, existing, candidates []*catalog.IndexMeta, cfg Confi
 	return res, nil
 }
 
+// isCtxErr reports whether err stems from context cancellation or deadline —
+// the signal to degrade to best-so-far instead of failing the search.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 type searcher struct {
+	ctx         context.Context
 	eval        Evaluator
 	candidates  []*catalog.IndexMeta
 	cfg         Config
@@ -284,7 +322,7 @@ func (s *searcher) cost(indexes []*catalog.IndexMeta) (float64, error) {
 		s.cacheHits++
 		return c, nil
 	}
-	c, err := s.eval.WorkloadCost(indexes)
+	c, err := s.eval.WorkloadCost(s.ctx, indexes)
 	if err != nil {
 		return 0, fmt.Errorf("mcts: evaluate %s: %w", key, err)
 	}

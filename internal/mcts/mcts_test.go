@@ -1,6 +1,7 @@
 package mcts
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -18,7 +19,7 @@ func idx(table, col string, size int64) *catalog.IndexMeta {
 // costTable builds an Evaluator from a map of configuration key → cost, with
 // a default cost for unknown configurations.
 func costTable(costs map[string]float64, def float64) Evaluator {
-	return EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+	return EvaluatorFunc(func(_ context.Context, active []*catalog.IndexMeta) (float64, error) {
 		if c, ok := costs[setKey(active)]; ok {
 			return c, nil
 		}
@@ -32,7 +33,7 @@ func TestFindsObviouslyGoodIndex(t *testing.T) {
 		"":     1000,
 		"t(a)": 100,
 	}
-	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a},
+	res, err := Search(context.Background(), costTable(costs, 1000), nil, []*catalog.IndexMeta{a},
 		Config{Iterations: 50, Seed: 7})
 	if err != nil {
 		t.Fatal(err)
@@ -51,7 +52,7 @@ func TestRemovesHarmfulIndex(t *testing.T) {
 		"":       500, // without the index: cheap
 		"t(hot)": 900, // heavy maintenance cost
 	}
-	res, err := Search(costTable(costs, 900), []*catalog.IndexMeta{bad}, nil,
+	res, err := Search(context.Background(), costTable(costs, 900), []*catalog.IndexMeta{bad}, nil,
 		Config{Iterations: 30, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +73,7 @@ func TestCorrelatedIndexesBeatGreedy(t *testing.T) {
 		"t2(b)":       985, // alone: minor
 		"t1(a);t2(b)": 50,  // together: huge
 	}
-	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b},
+	res, err := Search(context.Background(), costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b},
 		Config{Iterations: 100, Seed: 11})
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +100,7 @@ func TestBudgetConstraintRespected(t *testing.T) {
 		"t(b);t(c)":      350,
 		"t(a);t(b);t(c)": 50,
 	}
-	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b, c},
+	res, err := Search(context.Background(), costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b, c},
 		Config{Iterations: 200, Seed: 5, Budget: 1000})
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +122,7 @@ func TestUnlimitedBudgetPicksGlobalOptimum(t *testing.T) {
 		"t(b)":      500,
 		"t(a);t(b)": 100,
 	}
-	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b},
+	res, err := Search(context.Background(), costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b},
 		Config{Iterations: 100, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -132,7 +133,7 @@ func TestUnlimitedBudgetPicksGlobalOptimum(t *testing.T) {
 }
 
 func TestNoCandidatesNoChanges(t *testing.T) {
-	res, err := Search(costTable(nil, 100), nil, nil, Config{Iterations: 10, Seed: 1})
+	res, err := Search(context.Background(), costTable(nil, 100), nil, nil, Config{Iterations: 10, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,10 +149,10 @@ func TestNeverWorseThanBase(t *testing.T) {
 	// All indexes hurt; the search must keep the empty configuration.
 	a := idx("t", "a", 10)
 	b := idx("t", "b", 10)
-	eval := EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+	eval := EvaluatorFunc(func(_ context.Context, active []*catalog.IndexMeta) (float64, error) {
 		return 100 + float64(len(active))*50, nil
 	})
-	res, err := Search(eval, nil, []*catalog.IndexMeta{a, b}, Config{Iterations: 50, Seed: 9})
+	res, err := Search(context.Background(), eval, nil, []*catalog.IndexMeta{a, b}, Config{Iterations: 50, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -173,7 +174,7 @@ func TestMixedAddAndRemove(t *testing.T) {
 		"t(new)":        300,
 		"t(new);t(old)": 500,
 	}
-	res, err := Search(costTable(costs, 1000), []*catalog.IndexMeta{old},
+	res, err := Search(context.Background(), costTable(costs, 1000), []*catalog.IndexMeta{old},
 		[]*catalog.IndexMeta{neu}, Config{Iterations: 100, Seed: 4})
 	if err != nil {
 		t.Fatal(err)
@@ -193,7 +194,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 		"": 1000, "t(a)": 600, "t(b)": 500, "t(a);t(b)": 200,
 	}
 	run := func() *Result {
-		r, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b},
+		r, err := Search(context.Background(), costTable(costs, 1000), nil, []*catalog.IndexMeta{a, b},
 			Config{Iterations: 60, Seed: 42})
 		if err != nil {
 			t.Fatal(err)
@@ -210,7 +211,7 @@ func TestDeterministicWithSeed(t *testing.T) {
 func TestEarlyStop(t *testing.T) {
 	a := idx("t", "a", 100)
 	costs := map[string]float64{"": 1000, "t(a)": 100}
-	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a},
+	res, err := Search(context.Background(), costTable(costs, 1000), nil, []*catalog.IndexMeta{a},
 		Config{Iterations: 1000, Seed: 1, EarlyStopRounds: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -226,11 +227,11 @@ func TestEarlyStop(t *testing.T) {
 func TestEvaluationCaching(t *testing.T) {
 	a := idx("t", "a", 100)
 	calls := 0
-	eval := EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+	eval := EvaluatorFunc(func(_ context.Context, active []*catalog.IndexMeta) (float64, error) {
 		calls++
 		return 100 - float64(len(active)), nil
 	})
-	res, err := Search(eval, nil, []*catalog.IndexMeta{a}, Config{Iterations: 50, Seed: 1})
+	res, err := Search(context.Background(), eval, nil, []*catalog.IndexMeta{a}, Config{Iterations: 50, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +247,7 @@ func TestEvaluationCaching(t *testing.T) {
 func TestGammaZeroStillFindsGreedyPath(t *testing.T) {
 	a := idx("t", "a", 100)
 	costs := map[string]float64{"": 1000, "t(a)": 100}
-	res, err := Search(costTable(costs, 1000), nil, []*catalog.IndexMeta{a},
+	res, err := Search(context.Background(), costTable(costs, 1000), nil, []*catalog.IndexMeta{a},
 		Config{Iterations: 20, Seed: 1, Gamma: -1}) // negative disables exploration bonus shape
 	if err != nil {
 		t.Fatal(err)

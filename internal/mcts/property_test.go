@@ -1,6 +1,7 @@
 package mcts
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -57,7 +58,7 @@ func (l *randomLandscape) cost(mask int) float64 {
 }
 
 func (l *randomLandscape) evaluator() Evaluator {
-	return EvaluatorFunc(func(active []*catalog.IndexMeta) (float64, error) {
+	return EvaluatorFunc(func(_ context.Context, active []*catalog.IndexMeta) (float64, error) {
 		mask := 0
 		for _, m := range active {
 			for i, s := range l.specs {
@@ -88,7 +89,7 @@ func TestMCTSNearOptimalOnRandomLandscapes(t *testing.T) {
 	for seed := int64(1); seed <= 12; seed++ {
 		l := newLandscape(8, seed)
 		opt := l.optimum()
-		res, err := Search(l.evaluator(), nil, l.specs,
+		res, err := Search(context.Background(), l.evaluator(), nil, l.specs,
 			Config{Iterations: 400, Rollouts: 4, Seed: seed})
 		if err != nil {
 			t.Fatal(err)
@@ -115,7 +116,7 @@ func TestMCTSBudgetedNeverExceeds(t *testing.T) {
 			s.SizeBytes = int64(rng.Intn(400) + 50)
 		}
 		budget := int64(600)
-		res, err := Search(l.evaluator(), nil, l.specs,
+		res, err := Search(context.Background(), l.evaluator(), nil, l.specs,
 			Config{Iterations: 200, Rollouts: 3, Seed: seed, Budget: budget})
 		if err != nil {
 			t.Fatal(err)
@@ -138,7 +139,7 @@ func TestMCTSStartsFromExistingRemovesNegatives(t *testing.T) {
 		}
 	}
 	existing := []*catalog.IndexMeta{l.specs[0]}
-	res, err := Search(l.evaluator(), existing, l.specs[1:],
+	res, err := Search(context.Background(), l.evaluator(), existing, l.specs[1:],
 		Config{Iterations: 300, Rollouts: 4, Seed: 3})
 	if err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"repro/internal/btree"
+	"repro/internal/fault"
 	"repro/internal/sqltypes"
 )
 
@@ -51,12 +52,21 @@ type Heap struct {
 	numLive  int64
 	io       *IOCounter
 	lastPage int // page with free space, for O(1) append
+	// faults, when armed, can fail or delay page reads/writes. Nil (the
+	// default) costs one pointer check per page touch.
+	faults *fault.Injector
 }
 
 // NewHeap creates an empty heap charging IO to the given counter.
 func NewHeap(io *IOCounter) *Heap {
 	return &Heap{io: io}
 }
+
+// SetFaultInjector arms (or with nil disarms) fault injection on this heap's
+// page reads and writes. Methods without an error return surface injected
+// faults as *fault.Error panics; the engine statement boundary converts
+// those back into errors.
+func (h *Heap) SetFaultInjector(in *fault.Injector) { h.faults = in }
 
 // NumTuples returns the count of live tuples.
 func (h *Heap) NumTuples() int64 { return h.numLive }
@@ -66,6 +76,9 @@ func (h *Heap) NumPages() int64 { return int64(len(h.pages)) }
 
 // Insert appends a tuple and returns its RID. Charges one page write.
 func (h *Heap) Insert(t sqltypes.Tuple) btree.RID {
+	if h.faults != nil {
+		h.faults.MustCheck(fault.SitePageWrite)
+	}
 	if h.lastPage >= len(h.pages) || len(h.pages[h.lastPage].tuples) >= TuplesPerPage {
 		h.pages = append(h.pages, &page{})
 		h.lastPage = len(h.pages) - 1
@@ -81,6 +94,9 @@ func (h *Heap) Insert(t sqltypes.Tuple) btree.RID {
 // Fetch returns the tuple at rid, charging one page read. Returns nil for
 // deleted or out-of-range slots.
 func (h *Heap) Fetch(rid btree.RID) sqltypes.Tuple {
+	if h.faults != nil {
+		h.faults.MustCheck(fault.SitePageRead)
+	}
 	h.io.HeapPagesRead++
 	if int(rid.Page) >= len(h.pages) {
 		return nil
@@ -95,6 +111,11 @@ func (h *Heap) Fetch(rid btree.RID) sqltypes.Tuple {
 // Update replaces the tuple at rid in place (heap-only update; index
 // maintenance is the engine's responsibility). Charges a read and a write.
 func (h *Heap) Update(rid btree.RID, t sqltypes.Tuple) error {
+	if h.faults != nil {
+		if err := h.faults.Check(fault.SitePageWrite); err != nil {
+			return err
+		}
+	}
 	h.io.HeapPagesRead++
 	h.io.HeapPagesWritten++
 	if int(rid.Page) >= len(h.pages) || int(rid.Slot) >= len(h.pages[rid.Page].tuples) {
@@ -109,6 +130,11 @@ func (h *Heap) Update(rid btree.RID, t sqltypes.Tuple) error {
 
 // Delete tombstones the tuple at rid. Charges a write.
 func (h *Heap) Delete(rid btree.RID) error {
+	if h.faults != nil {
+		if err := h.faults.Check(fault.SitePageWrite); err != nil {
+			return err
+		}
+	}
 	h.io.HeapPagesWritten++
 	if int(rid.Page) >= len(h.pages) || int(rid.Slot) >= len(h.pages[rid.Page].tuples) {
 		return fmt.Errorf("storage: delete of invalid rid %v", rid)
@@ -127,6 +153,9 @@ func (h *Heap) Delete(rid btree.RID) error {
 // The callback returns false to stop early.
 func (h *Heap) Scan(visit func(rid btree.RID, t sqltypes.Tuple) bool) {
 	for pi, p := range h.pages {
+		if h.faults != nil {
+			h.faults.MustCheck(fault.SitePageRead)
+		}
 		h.io.HeapPagesRead++
 		for si, t := range p.tuples {
 			if t == nil {
