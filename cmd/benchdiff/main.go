@@ -1,0 +1,86 @@
+// Command benchdiff compares two BENCH_*.json perf snapshots (written by
+// benchrunner -bench-out) and exits non-zero when the candidate regresses
+// past the configured thresholds — the machine-checkable gate over the
+// repo's perf trajectory.
+//
+// Usage:
+//
+//	benchdiff [flags] baseline.json candidate.json
+//
+//	-threshold 0.25     tolerated relative worsening for deterministic
+//	                    metrics (cost-unit latencies, errors, ops counters,
+//	                    cache hit rate)
+//	-wall-threshold 0.5 tolerance for wall-clock metrics (wall time,
+//	                    throughput/sec, seconds-unit latencies)
+//	-skip-wall          ignore wall-clock metrics entirely — required when
+//	                    the two snapshots ran on different hardware, e.g.
+//	                    diffing a committed baseline on a CI runner
+//
+// Deterministic metrics reproduce exactly for a given seed, so any drift
+// there is a real behavior change: either a regression to fix or an
+// intentional change that warrants refreshing the committed baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25,
+		"tolerated relative worsening for deterministic metrics (0.25 = 25%)")
+	wallThreshold := flag.Float64("wall-threshold", 0.5,
+		"tolerated relative worsening for wall-clock metrics")
+	skipWall := flag.Bool("skip-wall", false,
+		"ignore wall-clock metrics (cross-machine comparison)")
+	flag.Parse()
+
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] baseline.json candidate.json")
+		os.Exit(2)
+	}
+	base, err := obs.ReadBenchSnapshot(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, err := obs.ReadBenchSnapshot(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if base.Experiment != cand.Experiment {
+		fmt.Fprintf(os.Stderr, "benchdiff: comparing different experiments: %q vs %q\n",
+			base.Experiment, cand.Experiment)
+		os.Exit(2)
+	}
+
+	regs, err := obs.CompareBenchSnapshots(base, cand, obs.DiffOptions{
+		Threshold:     *threshold,
+		WallThreshold: *wallThreshold,
+		SkipWall:      *skipWall,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("baseline:  %s seed=%d quick=%v %s stmts=%d p99=%g %s\n",
+		base.Experiment, base.Seed, base.Quick, base.GoVersion, base.Statements,
+		base.Latency.P99, base.Latency.Unit)
+	fmt.Printf("candidate: %s seed=%d quick=%v %s stmts=%d p99=%g %s\n",
+		cand.Experiment, cand.Seed, cand.Quick, cand.GoVersion, cand.Statements,
+		cand.Latency.P99, cand.Latency.Unit)
+	if len(regs) == 0 {
+		fmt.Println("no regressions")
+		return
+	}
+	fmt.Printf("%d regression(s):\n", len(regs))
+	for _, r := range regs {
+		fmt.Println(" ", r)
+	}
+	os.Exit(1)
+}

@@ -1,33 +1,56 @@
-// Command benchrunner regenerates the paper's tables and figures.
+// Command benchrunner regenerates the paper's tables and figures, and
+// doubles as the perf-trajectory and open-loop load-generation front end.
 //
 // Usage:
 //
-//	benchrunner -exp fig5            # one experiment
-//	benchrunner -exp all             # everything (minutes)
-//	benchrunner -exp fig10 -seed 3   # change the deterministic seed
+//	benchrunner -exp fig5                              # one experiment
+//	benchrunner -exp all                               # everything (minutes)
+//	benchrunner -exp fig10 -seed 3                     # change the deterministic seed
+//	benchrunner -exp fig5 -quick -bench-out BENCH_fig5.json   # persist a perf snapshot
+//	benchrunner -loadgen -qps 200 -duration 5s -workers 4     # open-loop tail-latency run
 //
 // Experiments: fig1, fig5, table1, fig6, fig7, table2, table3, fig8, fig9,
-// fig10, estimator, q32, all.
+// fig10, estimator, q32, parttype, writeaware, gamma, drl, all.
+//
+// -bench-out writes a BENCH_<exp>.json snapshot (schema: internal/obs
+// BenchSnapshot) holding wall time, throughput, p50/p95/p99 latency,
+// what-if cache hit rate, and the deterministic ops counters; cmd/benchdiff
+// compares two snapshots and gates on regressions.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/harness"
+	"repro/internal/loadgen"
 	"repro/internal/obs"
+	"repro/internal/workload/tpcc"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (fig1,fig5,table1,fig6,fig7,table2,table3,fig8,fig9,fig10,estimator,q32,all)")
+	exp := flag.String("exp", "all",
+		"experiment id (fig1,fig5,table1,fig6,fig7,table2,table3,fig8,fig9,fig10,estimator,q32,parttype,writeaware,gamma,drl,all)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	quick := flag.Bool("quick", false, "smaller workloads (faster, noisier)")
 	traceOut := flag.String("trace-out", "",
 		"write a JSONL span trace of every tuning round to this file (replayable experiment telemetry)")
 	roundTimeout := flag.Duration("round-timeout", 0,
 		"deadline per tuning round's search (0 = unbounded); degraded best-so-far results on expiry")
+	benchOut := flag.String("bench-out", "",
+		"write a BENCH_<exp>.json perf snapshot (wall time, throughput, p50/p95/p99, cache hit rate, ops counters) to this file")
+	useLoadgen := flag.Bool("loadgen", false,
+		"run the open-loop load generator against a TPC-C database instead of a paper experiment")
+	qps := flag.Float64("qps", 200, "loadgen: target offered rate (Poisson arrivals)")
+	duration := flag.Duration("duration", 5*time.Second, "loadgen: schedule horizon")
+	workers := flag.Int("workers", 4, "loadgen: fixed worker-pool size")
+	scale := flag.Int("scale", 1, "loadgen: TPC-C scale factor")
 	flag.Parse()
 	experiments.RoundTimeout = *roundTimeout
 
@@ -45,6 +68,21 @@ func main() {
 			_ = w.Flush()
 			_ = f.Close()
 		}()
+	}
+
+	// Snapshots read the process-wide registry, which every engine instance
+	// and manager instruments itself into once installed (loadgen always
+	// measures; experiments only when a snapshot was requested).
+	if *benchOut != "" || *useLoadgen {
+		obs.SetDefaultRegistry(obs.NewRegistry())
+	}
+
+	if *useLoadgen {
+		if err := runLoadgen(*seed, *scale, *qps, *duration, *workers, *benchOut); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: loadgen:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	runners := map[string]func(int64, bool) error{
@@ -66,6 +104,7 @@ func main() {
 		"drl":        runDRL,
 	}
 
+	start := time.Now()
 	if *exp == "all" {
 		order := []string{"fig5", "table1", "fig6", "fig1", "table2", "fig8", "fig9", "fig10", "estimator", "q32", "parttype", "writeaware", "gamma", "drl"}
 		for _, id := range order {
@@ -74,17 +113,88 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		return
+	} else {
+		run, ok := runners[*exp]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		if err := run(*seed, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", *exp, err)
+			os.Exit(1)
+		}
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "benchrunner: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	if *benchOut != "" {
+		if err := writeSnapshot(*benchOut, *exp, *seed, *quick, time.Since(start)); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner: bench-out:", err)
+			os.Exit(1)
+		}
 	}
-	if err := run(*seed, *quick); err != nil {
-		fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", *exp, err)
-		os.Exit(1)
+}
+
+// writeSnapshot persists one perf-trajectory point from the process
+// registry the experiments just fed.
+func writeSnapshot(path, exp string, seed int64, quick bool, wall time.Duration) error {
+	rc := obs.NewRuntimeCollector(obs.DefaultRegistry())
+	rc.Sample() // record end-of-run heap/GC/goroutine state alongside the counters
+	snap := obs.BuildBenchSnapshot(exp, seed, quick, wall, obs.DefaultRegistry())
+	if err := snap.WriteFile(path); err != nil {
+		return err
 	}
+	fmt.Printf("\nbench snapshot → %s  (stmts=%d p50=%.1f p95=%.1f p99=%.1f %s, %.1f stmt/s, whatif-hit=%.2f)\n",
+		path, snap.Statements, snap.Latency.P50, snap.Latency.P95, snap.Latency.P99,
+		snap.Latency.Unit, snap.ThroughputPerSec, snap.WhatIfHitRate)
+	return nil
+}
+
+// runLoadgen drives the open-loop generator against a freshly loaded TPC-C
+// database: seeded Poisson arrivals at -qps for -duration, executed by a
+// fixed -workers pool, response time measured from each request's
+// *scheduled* start so queueing (coordinated omission) is charged to the
+// tail percentiles.
+func runLoadgen(seed int64, scale int, qps float64, duration time.Duration, workers int, benchOut string) error {
+	header(fmt.Sprintf("Open-loop load generator — TPC-C%dx, %.0f req/s Poisson, %v, %d workers",
+		scale, qps, duration, workers))
+	db := engine.New()
+	l := tpcc.NewLoader(tpcc.Scale(scale), seed)
+	if err := l.Load(db); err != nil {
+		return err
+	}
+	// A generous template stream; arrivals cycle through it round-robin.
+	stmts := harness.Flatten(l.Transactions(500, tpcc.StandardMix()))
+
+	start := time.Now()
+	res, err := loadgen.Run(context.Background(), loadgen.NewDBExecutor(db), loadgen.Config{
+		Seed:       seed,
+		QPS:        qps,
+		Duration:   duration,
+		Workers:    workers,
+		Statements: stmts,
+		Registry:   obs.DefaultRegistry(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+
+	if benchOut != "" {
+		snap := obs.BuildBenchSnapshot("loadgen", seed, false, time.Since(start), obs.DefaultRegistry())
+		snap.ThroughputPerSec = res.AchievedQPS
+		snap.Errors = int64(res.Errors)
+		snap.Latency = obs.LatencySummary{
+			Unit:  "seconds",
+			Count: int64(res.Requests),
+			Mean:  res.Mean.Seconds(),
+			P50:   res.P50.Seconds(),
+			P95:   res.P95.Seconds(),
+			P99:   res.P99.Seconds(),
+		}
+		if err := snap.WriteFile(benchOut); err != nil {
+			return err
+		}
+		fmt.Printf("bench snapshot → %s\n", benchOut)
+	}
+	return nil
 }
 
 func header(title string) {

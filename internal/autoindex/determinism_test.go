@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestSameSeedRunsAreByteIdentical runs the full recommendation pipeline
@@ -68,5 +70,26 @@ func TestSameSeedRunsAreByteIdentical(t *testing.T) {
 		if !bytes.Equal(js1, js2) {
 			t.Fatalf("%s: state reports are not byte-identical:\n--- baseline ---\n%s\n--- %s ---\n%s", v.name, js1, v.name, js2)
 		}
+	}
+
+	// Observability must be read-only: rerunning the baseline variant with a
+	// process-default metrics registry and tracer attached (picked up by
+	// engine.New and autoindex.New, exactly as benchrunner -bench-out
+	// installs them) must still produce a byte-identical StateReport.
+	obs.SetDefaultRegistry(obs.NewRegistry())
+	obs.SetDefaultTracer(obs.NewTracer(nil))
+	defer func() {
+		obs.SetDefaultRegistry(nil)
+		obs.SetDefaultTracer(nil)
+	}()
+	recI, jsI := run(variants[0].parallelism, variants[0].cacheDisabled)
+	if keys1, keysI := recKeys(rec1), recKeys(recI); keys1 != keysI {
+		t.Fatalf("instrumented: recommendations differ: %q vs %q", keys1, keysI)
+	}
+	if !bytes.Equal(js1, jsI) {
+		t.Fatalf("instrumented run is not byte-identical to the detached run:\n--- detached ---\n%s\n--- instrumented ---\n%s", js1, jsI)
+	}
+	if reg := obs.DefaultRegistry(); reg.Counter("engine_statements_total", "").Value() == 0 {
+		t.Fatal("instrumented run recorded no engine statements — registry was not picked up")
 	}
 }

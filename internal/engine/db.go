@@ -10,6 +10,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/costparams"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
 	"repro/internal/storage"
@@ -103,7 +104,11 @@ type Result struct {
 	Plan string
 }
 
-// New creates an empty database.
+// New creates an empty database. When a process-wide metrics registry is
+// installed (obs.SetDefaultRegistry — benchrunner's -bench-out does this),
+// the instance instruments itself into it, mirroring how managers pick up
+// obs.DefaultTracer; with no default registry the hot path stays
+// uninstrumented. SetMetrics overrides either way.
 func New() *DB {
 	db := &DB{
 		cat:        catalog.New(),
@@ -111,6 +116,9 @@ func New() *DB {
 		indexes:    make(map[string][]*btree.Tree),
 		indexUsage: make(map[string]int64),
 		order:      BTreeOrder,
+	}
+	if reg := obs.DefaultRegistry(); reg != nil {
+		db.SetMetrics(reg)
 	}
 	return db
 }

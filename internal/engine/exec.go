@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/catalog"
@@ -32,12 +33,20 @@ func (db *DB) ExecStmt(stmt sqlparser.Statement) (res *Result, err error) {
 	db.resetStatementCounters()
 	db.statements++
 	splitsBefore := db.totalSplits()
+	// Wall-clock service time is only measured while instrumented: the
+	// latency hook the load generator and bench snapshots read, and two
+	// clock reads the detached hot path never pays.
+	var wallStart time.Time
+	if db.metrics != nil {
+		wallStart = time.Now()
+	}
 	// LIFO: recoverToError runs first and settles err, then the metrics
 	// defer counts the failure (covering both returned and recovered errors).
 	defer func() {
 		if err != nil && db.metrics != nil {
 			db.metrics.stmtTotal.Inc()
 			db.metrics.stmtErrors.Inc()
+			db.metrics.stmtSeconds.Observe(time.Since(wallStart).Seconds())
 		}
 	}()
 	defer db.recoverToError("ExecStmt", &res, &err)
@@ -73,6 +82,7 @@ func (db *DB) ExecStmt(stmt sqlparser.Statement) (res *Result, err error) {
 	res.Stats.RowsAffected = affected
 	if db.metrics != nil {
 		db.metrics.recordStmt(res.Stats)
+		db.metrics.stmtSeconds.Observe(time.Since(wallStart).Seconds())
 	}
 	return res, nil
 }

@@ -20,6 +20,7 @@ type dbMetrics struct {
 	stmtTotal      *obs.Counter
 	stmtErrors     *obs.Counter
 	stmtCost       *obs.Histogram
+	stmtSeconds    *obs.Histogram
 	internalPanics *obs.Counter
 
 	heapPagesRead     *obs.Counter
@@ -59,6 +60,9 @@ func (db *DB) SetMetrics(reg *obs.Registry) {
 		stmtErrors: reg.Counter("engine_statement_errors_total", "Statements that returned an error"),
 		stmtCost: reg.Histogram("engine_statement_cost",
 			"Per-statement deterministic cost units (latency proxy)", stmtCostBuckets),
+		stmtSeconds: reg.Histogram("engine_statement_seconds",
+			"Per-statement wall-clock service time (seconds, log-spaced buckets)",
+			obs.LogBuckets(1e-7, 10, 5)),
 		internalPanics: reg.Counter("engine_internal_panics_total",
 			"Panics recovered at the statement boundary and returned as *InternalError"),
 		heapPagesRead:     reg.Counter("engine_heap_pages_read_total", "Heap pages read"),

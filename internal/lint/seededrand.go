@@ -18,6 +18,7 @@ var randTargets = stringSet{
 	"hypo":      true,
 	"baseline":  true,
 	"autoindex": true,
+	"loadgen":   true,
 }
 
 // timeNowBanned are the pure-estimation packages where wall-clock time must

@@ -35,3 +35,46 @@ func (g *Gauge) zero() { g.v = 0 }
 
 // Allowed: the receiver is never used.
 func (*Gauge) Kind() string { return "gauge" }
+
+// Quantiler mirrors the shape of the histogram quantile estimator: exported
+// query methods that return a numeric estimate must tolerate a nil receiver
+// (returning the zero estimate), not panic.
+type Quantiler struct {
+	counts []int64
+	total  int64
+}
+
+// Allowed: guarded query returning the zero estimate for nil.
+func (q *Quantiler) Quantile(p float64) float64 {
+	if q == nil {
+		return 0
+	}
+	_ = p
+	return float64(q.total)
+}
+
+// Flagged: a quantile query that dereferences without a guard.
+func (q *Quantiler) Rank(p float64) int64 { // want "must begin with a nil-receiver guard"
+	return int64(p * float64(q.total))
+}
+
+// Collector mirrors the runtime-stats collector: lifecycle methods
+// (Sample/Start/Stop) are frequently called on a handle that may be nil when
+// observability is detached, so each must guard or delegate.
+type Collector struct{ started bool }
+
+// Allowed: first-statement guard.
+func (c *Collector) Sample() {
+	if c == nil {
+		return
+	}
+	c.started = c.started || false
+}
+
+// Allowed: single delegation to a same-receiver method, checked in turn.
+func (c *Collector) Stop() { c.Sample() }
+
+// Flagged: lifecycle method with an unguarded dereference.
+func (c *Collector) Start() { // want "must begin with a nil-receiver guard"
+	c.started = true
+}

@@ -4,19 +4,28 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 )
 
 // Handler serves the observability endpoints:
 //
-//	/metrics       Prometheus text format
-//	/metrics.json  JSON snapshot of the same registry
-//	/debug/trace   recent finished spans as a JSON forest (nested children)
+//	/metrics        Prometheus text format
+//	/metrics.json   JSON snapshot of the same registry
+//	/debug/trace    recent finished spans as a JSON forest (nested children)
+//	/debug/pprof/   Go runtime profiles (heap, goroutine, CPU, trace, ...)
 //
 // Either argument may be nil; the corresponding endpoint serves an empty
-// document.
+// document. The pprof routes are wired explicitly (this mux never uses
+// http.DefaultServeMux) so profiling a live tuning process needs no extra
+// listener.
 func Handler(reg *Registry, tr *Tracer) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WriteProm(w)
@@ -41,13 +50,14 @@ func Handler(reg *Registry, tr *Tracer) http.Handler {
 // Serve starts an HTTP server for the observability endpoints on addr and
 // returns it (already listening; shut down with server.Close). The listen
 // error, if any, is returned synchronously so a bad --metrics-addr fails
-// fast instead of dying in a goroutine.
+// fast instead of dying in a goroutine. The returned server's Addr holds
+// the bound address, so addr may use port 0 to pick a free port.
 func Serve(addr string, reg *Registry, tr *Tracer) (*http.Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Addr: addr, Handler: Handler(reg, tr)}
+	srv := &http.Server{Addr: ln.Addr().String(), Handler: Handler(reg, tr)}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, nil
 }

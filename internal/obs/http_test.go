@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
@@ -58,5 +60,62 @@ func TestHandlerNilBackends(t *testing.T) {
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/trace", nil))
 	if strings.TrimSpace(rec.Body.String()) != "[]" {
 		t.Fatalf("empty trace = %q, want []", rec.Body.String())
+	}
+}
+
+func TestServeListenErrorFailsFast(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// Binding the same address again must return the listen error
+	// synchronously instead of dying later in a goroutine.
+	dup, err := Serve(srv.Addr, nil, nil)
+	if err == nil {
+		dup.Close()
+		t.Fatalf("second Serve on %s succeeded, want listen error", srv.Addr)
+	}
+}
+
+func TestServeServesAndClosesGracefully(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("engine_statements_total", "x").Add(7)
+	srv, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Port 0 was requested; the returned server carries the bound address.
+	if strings.HasSuffix(srv.Addr, ":0") {
+		t.Fatalf("srv.Addr = %q, want the resolved port", srv.Addr)
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + srv.Addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "engine_statements_total 7") {
+		t.Fatalf("/metrics over the wire = %d %q", code, body)
+	}
+	// /debug/trace with a nil tracer still answers with a valid JSON array.
+	if code, body := get("/debug/trace"); code != 200 || strings.TrimSpace(body) != "[]" {
+		t.Fatalf("/debug/trace with nil tracer = %d %q", code, body)
+	}
+	// pprof is wired on the same listener.
+	if code, _ := get("/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("/debug/pprof/cmdline = %d", code)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + srv.Addr + "/metrics"); err == nil {
+		t.Fatal("server still answering after Close")
 	}
 }

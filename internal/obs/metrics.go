@@ -86,15 +86,49 @@ type Histogram struct {
 	count  atomic.Int64
 }
 
+// LogBuckets returns geometrically spaced histogram bounds from min to at
+// least max, with perDecade buckets per factor of ten (growth factor
+// 10^(1/perDecade)). Log spacing keeps the relative quantile-estimation
+// error constant across the range, which is what latency distributions
+// need: a fixed-width grid sized for the p99 would merge every fast
+// request into one bucket. Invalid arguments (min <= 0, max <= min,
+// perDecade < 1) yield a single-bucket fallback {min-or-1}.
+func LogBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade < 1 {
+		if min <= 0 {
+			min = 1
+		}
+		return []float64{min}
+	}
+	growth := math.Pow(10, 1/float64(perDecade))
+	var out []float64
+	// Generate by exponent (not repeated multiplication) so the schedule is
+	// reproducible regardless of accumulation order.
+	for i := 0; ; i++ {
+		b := min * math.Pow(growth, float64(i))
+		out = append(out, b)
+		if b >= max || len(out) >= 512 {
+			break
+		}
+	}
+	return out
+}
+
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64{}, bounds...)
 	sort.Float64s(b)
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
-// Observe records one value.
+// Observe records one value. NaN observations are dropped: comparison
+// semantics would otherwise land them in an arbitrary bucket and poison the
+// running sum, so a NaN latency (an unmeasured sample) is simply not a data
+// point.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
+		return
+	}
+	if math.IsNaN(v) {
 		return
 	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v, i.e. v <= bounds[i]
@@ -107,6 +141,72 @@ func (h *Histogram) Observe(v float64) {
 			return
 		}
 	}
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) of the observed
+// distribution from the bucket counts by linear interpolation inside the
+// bucket that holds the target rank.
+//
+// Error bounds: the true quantile lies inside the same bucket, so the
+// absolute error is at most that bucket's width. With LogBuckets bounds
+// (geometric spacing with growth factor g) the relative error is at most
+// g−1 — e.g. ≤ ~58% per-decade-of-5 buckets in the worst case, and in
+// practice much less because interpolation is exact for locally uniform
+// mass. Values in the implicit +Inf bucket cannot be interpolated; the
+// highest finite bound is returned (an underestimate). With no
+// observations, or on a nil histogram, Quantile returns 0. q is clamped
+// to [0, 1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	if math.IsNaN(q) {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	// Rank of the target observation, 1-based, ceil(q*N) clamped to [1, N].
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if cum+c >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: no finite upper edge to interpolate toward.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			upper := h.bounds[i]
+			frac := float64(rank-cum) / float64(c)
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
 }
 
 // Count returns the total number of observations.
@@ -330,6 +430,19 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 	m := &metric{name: name, help: help, kind: kindHistogram, h: newHistogram(bounds)}
 	r.metrics[name] = m
 	return m.h
+}
+
+// LookupHistogram returns the named histogram if (and only if) one is
+// already registered — unlike Histogram it never creates. Snapshot writers
+// use it to read instruments that may or may not have been exercised.
+func (r *Registry) LookupHistogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if m := r.lookup(name); m != nil {
+		return m.h
+	}
+	return nil
 }
 
 // CounterVec returns the named labeled-counter family.

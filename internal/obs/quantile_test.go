@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestObserveNaNIsDropped(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	h.Observe(5)
+	h.Observe(math.NaN())
+	h.Observe(50)
+
+	if got := h.Count(); got != 2 {
+		t.Fatalf("Count after NaN observation = %d, want 2", got)
+	}
+	if got := h.Sum(); got != 55 {
+		t.Fatalf("Sum after NaN observation = %v, want 55 (NaN must not poison the sum)", got)
+	}
+	_, cum := h.Buckets()
+	if cum[len(cum)-1] != 2 {
+		t.Fatalf("cumulative bucket total = %d, want 2", cum[len(cum)-1])
+	}
+	// Quantiles stay finite and sane.
+	if q := h.Quantile(0.5); math.IsNaN(q) || q <= 0 {
+		t.Fatalf("Quantile(0.5) after NaN observation = %v", q)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40})
+	// 100 observations uniform over (0, 40]: 25 per bucket.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.4)
+	}
+	cases := []struct {
+		q    float64
+		want float64
+		tol  float64
+	}{
+		{0.50, 20, 1.0},
+		{0.25, 10, 1.0},
+		{0.95, 38, 1.0},
+		{1.00, 40, 0.01},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Quantile(%v) = %v, want %v ± %v", c.q, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Fatalf("nil histogram Quantile = %v, want 0", got)
+	}
+	h := newHistogram([]float64{1, 10})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+	// All mass in the +Inf bucket: returns the highest finite bound.
+	h.Observe(1e9)
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("overflow-bucket Quantile = %v, want highest finite bound 10", got)
+	}
+	// q clamped, NaN q safe.
+	h.Observe(5)
+	if got := h.Quantile(-1); got <= 0 {
+		t.Fatalf("Quantile(-1) = %v, want clamped to min", got)
+	}
+	if got := h.Quantile(2); got != 10 {
+		t.Fatalf("Quantile(2) = %v, want clamp to max bound", got)
+	}
+	if got := h.Quantile(math.NaN()); got != 0 {
+		t.Fatalf("Quantile(NaN) = %v, want 0", got)
+	}
+}
+
+func TestQuantileErrorBoundWithLogBuckets(t *testing.T) {
+	bounds := LogBuckets(0.001, 100, 5)
+	h := newHistogram(bounds)
+	growth := math.Pow(10, 1.0/5)
+	// A lognormal-ish spread of exact values; every estimate must fall
+	// within one bucket (relative error ≤ growth−1) of the true value.
+	values := []float64{0.002, 0.015, 0.11, 0.9, 3.3, 12, 47, 80}
+	for _, v := range values {
+		for i := 0; i < 10; i++ {
+			h.Observe(v)
+		}
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		est := h.Quantile(q)
+		rank := int(math.Ceil(q * float64(len(values)*10)))
+		truth := values[(rank-1)/10]
+		if est > truth*growth || est < truth/growth {
+			t.Errorf("Quantile(%v) = %v, outside one-bucket bound of true %v", q, est, truth)
+		}
+	}
+}
+
+func TestLogBuckets(t *testing.T) {
+	b := LogBuckets(0.001, 10, 5)
+	if len(b) == 0 || b[0] != 0.001 {
+		t.Fatalf("LogBuckets first bound = %v", b)
+	}
+	if last := b[len(b)-1]; last < 10 {
+		t.Fatalf("LogBuckets last bound %v < max 10", last)
+	}
+	growth := math.Pow(10, 1.0/5)
+	for i := 1; i < len(b); i++ {
+		ratio := b[i] / b[i-1]
+		if math.Abs(ratio-growth) > 1e-9 {
+			t.Fatalf("bucket ratio %v at %d, want %v", ratio, i, growth)
+		}
+	}
+	// Deterministic: two calls produce identical schedules.
+	b2 := LogBuckets(0.001, 10, 5)
+	for i := range b {
+		if b[i] != b2[i] {
+			t.Fatalf("LogBuckets not deterministic at %d: %v vs %v", i, b[i], b2[i])
+		}
+	}
+	// Degenerate arguments fall back to a single bucket.
+	if got := LogBuckets(-1, 10, 5); len(got) != 1 {
+		t.Fatalf("LogBuckets(-1,10,5) = %v, want single fallback bucket", got)
+	}
+	if got := LogBuckets(5, 1, 5); len(got) != 1 {
+		t.Fatalf("LogBuckets(5,1,5) = %v, want single fallback bucket", got)
+	}
+}

@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRuntimeCollectorSample(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Sample()
+	snap := reg.Snapshot()
+	if v, _ := snap["runtime_goroutines"].(float64); v < 1 {
+		t.Fatalf("runtime_goroutines = %v, want >= 1", v)
+	}
+	if v, _ := snap["runtime_heap_bytes"].(float64); v <= 0 {
+		t.Fatalf("runtime_heap_bytes = %v, want > 0", v)
+	}
+	// GC gauges exist (values may be zero in a fresh process).
+	if _, ok := snap["runtime_gc_cycles_total"]; !ok {
+		t.Fatal("runtime_gc_cycles_total not registered")
+	}
+	if _, ok := snap["runtime_gc_pause_seconds_total"]; !ok {
+		t.Fatal("runtime_gc_pause_seconds_total not registered")
+	}
+}
+
+func TestRuntimeCollectorStartStop(t *testing.T) {
+	reg := NewRegistry()
+	c := NewRuntimeCollector(reg)
+	c.Start(10 * time.Millisecond)
+	c.Start(10 * time.Millisecond) // double start is a no-op
+	time.Sleep(25 * time.Millisecond)
+	c.Stop()
+	c.Stop() // double stop is a no-op
+	if v, _ := reg.Snapshot()["runtime_goroutines"].(float64); v < 1 {
+		t.Fatalf("runtime_goroutines after Start/Stop = %v", v)
+	}
+}
+
+func TestRuntimeCollectorNil(t *testing.T) {
+	var c *RuntimeCollector
+	c.Sample()
+	c.Start(time.Second)
+	c.Stop()
+	if got := NewRuntimeCollector(nil); got != nil {
+		t.Fatalf("NewRuntimeCollector(nil) = %v, want nil", got)
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// testSnapshot builds a snapshot from a populated registry.
+func testSnapshot(t *testing.T) BenchSnapshot {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter("engine_statements_total", "").Add(1000)
+	reg.Counter("engine_statement_errors_total", "").Add(3)
+	reg.Counter("engine_heap_pages_read_total", "").Add(50000)
+	reg.Counter("costmodel_whatif_cache_hits_total", "").Add(90)
+	reg.Counter("costmodel_whatif_cache_misses_total", "").Add(10)
+	reg.Counter("unrelated_total", "").Add(7)
+	reg.Gauge("runtime_heap_bytes", "").Set(1e6)
+	h := reg.Histogram("engine_statement_cost", "", []float64{1, 10, 100, 1000})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%40) + 1)
+	}
+	return BuildBenchSnapshot("fig5", 7, true, 2*time.Second, reg)
+}
+
+func TestBuildBenchSnapshot(t *testing.T) {
+	s := testSnapshot(t)
+	if s.Schema != BenchSnapshotSchema || s.Experiment != "fig5" || s.Seed != 7 || !s.Quick {
+		t.Fatalf("header fields wrong: %+v", s)
+	}
+	if s.Statements != 1000 || s.Errors != 3 {
+		t.Fatalf("statements/errors = %d/%d", s.Statements, s.Errors)
+	}
+	if s.ThroughputPerSec != 500 {
+		t.Fatalf("throughput = %v, want 500", s.ThroughputPerSec)
+	}
+	if s.Latency.Unit != "cost-units" || s.Latency.Count != 100 {
+		t.Fatalf("latency block = %+v", s.Latency)
+	}
+	if s.Latency.P50 <= 0 || s.Latency.P95 < s.Latency.P50 || s.Latency.P99 < s.Latency.P95 {
+		t.Fatalf("percentiles not ordered: %+v", s.Latency)
+	}
+	if math.Abs(s.WhatIfHitRate-0.9) > 1e-9 {
+		t.Fatalf("whatif hit rate = %v, want 0.9", s.WhatIfHitRate)
+	}
+	if _, ok := s.Counters["unrelated_total"]; ok {
+		t.Fatal("non-prefixed counter leaked into snapshot")
+	}
+	if _, ok := s.Counters["runtime_heap_bytes"]; ok {
+		t.Fatal("runtime gauge leaked into deterministic counters")
+	}
+	if s.Counters["engine_heap_pages_read_total"] != 50000 {
+		t.Fatalf("counters = %v", s.Counters)
+	}
+}
+
+func TestBenchSnapshotRoundTrip(t *testing.T) {
+	s := testSnapshot(t)
+	path := filepath.Join(t.TempDir(), "BENCH_fig5.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Statements != s.Statements || got.Latency.P99 != s.Latency.P99 ||
+		got.Counters["engine_heap_pages_read_total"] != 50000 {
+		t.Fatalf("round trip mismatch:\nwrote %+v\nread  %+v", s, got)
+	}
+}
+
+func TestCompareSnapshotWithItselfIsClean(t *testing.T) {
+	s := testSnapshot(t)
+	regs, err := CompareBenchSnapshots(s, s, DiffOptions{Threshold: 0, WallThreshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("self-compare found regressions: %v", regs)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := testSnapshot(t)
+	cand := testSnapshot(t)
+	cand.Latency.P99 = base.Latency.P99 * 2           // deterministic regression
+	cand.ThroughputPerSec = base.ThroughputPerSec / 3 // wall regression
+	cand.Errors = base.Errors + 100
+	cand.Counters = map[string]int64{"engine_heap_pages_read_total": 200000}
+	cand.WhatIfHitRate = 0.2
+
+	regs, err := CompareBenchSnapshots(base, cand, DiffOptions{Threshold: 0.25, WallThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{
+		"latency.p99":                           true,
+		"throughput_per_sec":                    true,
+		"errors":                                true,
+		"counters.engine_heap_pages_read_total": true,
+		"whatif_hit_rate":                       true,
+	}
+	got := map[string]bool{}
+	for _, r := range regs {
+		got[r.Metric] = true
+		if r.Delta <= 0 {
+			t.Errorf("%s: delta %v not positive", r.Metric, r.Delta)
+		}
+	}
+	for m := range want {
+		if !got[m] {
+			t.Errorf("expected regression %s not reported (got %v)", m, regs)
+		}
+	}
+	// Counters only in the baseline are ignored, not regressions.
+	for _, r := range regs {
+		if r.Metric == "counters.costmodel_whatif_cache_hits_total" {
+			t.Errorf("counter missing from candidate reported as regression")
+		}
+	}
+}
+
+func TestCompareSkipWall(t *testing.T) {
+	base := testSnapshot(t)
+	cand := testSnapshot(t)
+	cand.WallSeconds = base.WallSeconds * 100
+	cand.ThroughputPerSec = base.ThroughputPerSec / 100
+	regs, err := CompareBenchSnapshots(base, cand, DiffOptions{Threshold: 0.1, WallThreshold: 0.1, SkipWall: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("SkipWall still flagged wall metrics: %v", regs)
+	}
+}
+
+func TestCompareUnitAndSchemaMismatch(t *testing.T) {
+	base := testSnapshot(t)
+	cand := testSnapshot(t)
+	cand.Latency.Unit = "seconds"
+	if _, err := CompareBenchSnapshots(base, cand, DiffOptions{}); err == nil {
+		t.Fatal("unit mismatch not rejected")
+	}
+	cand = testSnapshot(t)
+	cand.Schema = BenchSnapshotSchema + 1
+	if _, err := CompareBenchSnapshots(base, cand, DiffOptions{}); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+}
+
+func TestCompareZeroToNonzeroErrors(t *testing.T) {
+	base := testSnapshot(t)
+	base.Errors = 0
+	cand := testSnapshot(t)
+	cand.Errors = 1
+	regs, err := CompareBenchSnapshots(base, cand, DiffOptions{Threshold: 0.25, WallThreshold: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if r.Metric == "errors" && math.IsInf(r.Delta, 1) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("0→1 errors not flagged as infinite regression: %v", regs)
+	}
+}
