@@ -7,6 +7,7 @@
 //
 //	autoindex -scenario tpcc -scale 10 -budget 2000000
 //	autoindex -scenario banking -apply
+//	autoindex -scenario tpcc -apply -online   # non-blocking online index builds
 //	autoindex -schema schema.sql -workload queries.sql
 package main
 
@@ -24,6 +25,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/mcts"
 	"repro/internal/obs"
+	"repro/internal/session"
 	"repro/internal/workload/banking"
 	"repro/internal/workload/epidemic"
 	"repro/internal/workload/tpcc"
@@ -38,6 +40,8 @@ func main() {
 	budget := flag.Int64("budget", 0, "storage budget in bytes (0 = unlimited)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	apply := flag.Bool("apply", false, "apply the recommendation and re-measure")
+	online := flag.Bool("online", false,
+		"with -apply: build indexes as non-blocking online builds through a concurrent session layer")
 	stmts := flag.Int("n", 1000, "scenario workload size (statements)")
 	loadSnap := flag.String("load", "", "load database snapshot instead of a scenario")
 	saveSnap := flag.String("save", "", "save database snapshot after tuning")
@@ -51,6 +55,7 @@ func main() {
 	flag.Parse()
 	showReport = *report
 	jsonOut = *jsonReport
+	onlineApply = *online
 
 	if *metricsAddr != "" {
 		metricsRegistry = obs.NewRegistry()
@@ -74,6 +79,10 @@ var showReport bool
 
 // jsonOut switches state reports to JSON (set from -json).
 var jsonOut bool
+
+// onlineApply routes Apply through the concurrent session layer so index
+// creations run as non-blocking online builds (set from -online).
+var onlineApply bool
 
 // metricsRegistry / metricsTracer are set when -metrics-addr is given.
 var (
@@ -179,6 +188,10 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 		db.SetMetrics(metricsRegistry)
 		mgr.Instrument(metricsRegistry, metricsTracer)
 	}
+	if onlineApply {
+		sm := session.New(db, session.Options{Seed: seed, Registry: metricsRegistry})
+		mgr.UseSessions(sm)
+	}
 
 	var baseline float64
 	for round := 1; round <= rounds; round++ {
@@ -248,8 +261,13 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 				}
 				return err
 			}
-			fmt.Printf("applied: %d created, %d dropped\n",
-				len(report.Created), len(report.Dropped))
+			if report.Background {
+				fmt.Printf("applied online: %d created, %d dropped (catchup rows %d)\n",
+					len(report.Created), len(report.Dropped), report.CatchupRows)
+			} else {
+				fmt.Printf("applied: %d created, %d dropped\n",
+					len(report.Created), len(report.Dropped))
+			}
 		}
 	}
 

@@ -8,6 +8,18 @@
 //	benchrunner -exp fig10 -seed 3                     # change the deterministic seed
 //	benchrunner -exp fig5 -quick -bench-out BENCH_fig5.json   # persist a perf snapshot
 //	benchrunner -loadgen -qps 200 -duration 5s -workers 4     # open-loop tail-latency run
+//	benchrunner -loadgen -workers 8 -online-tune              # tune online under live traffic
+//	benchrunner -loadgen -read-only -max-requests 2000        # deterministic counter snapshot
+//
+// Loadgen traffic runs through the concurrent session layer
+// (internal/session): SELECTs execute in parallel under a shared reader
+// lock, writes serialize, and -online-tune runs a full recommend→apply
+// tuning round concurrently with the load, building the recommended indexes
+// as non-blocking online builds (snapshot → bulk → catchup → publish). The
+// run fails if any foreground statement errors while the build is in flight.
+// -read-only filters the TPC-C stream to SELECTs so the ops counters in a
+// -bench-out snapshot are independent of worker interleaving; -max-requests
+// caps arrivals for a fixed-size run.
 //
 // Experiments: fig1, fig5, table1, fig6, fig7, table2, table3, fig8, fig9,
 // fig10, estimator, q32, parttype, writeaware, gamma, drl, all.
@@ -24,13 +36,17 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/autoindex"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/harness"
 	"repro/internal/loadgen"
+	"repro/internal/mcts"
 	"repro/internal/obs"
+	"repro/internal/session"
 	"repro/internal/workload/tpcc"
 )
 
@@ -51,6 +67,11 @@ func main() {
 	duration := flag.Duration("duration", 5*time.Second, "loadgen: schedule horizon")
 	workers := flag.Int("workers", 4, "loadgen: fixed worker-pool size")
 	scale := flag.Int("scale", 1, "loadgen: TPC-C scale factor")
+	maxRequests := flag.Int("max-requests", 0, "loadgen: cap arrivals at this count (0 = duration-bounded)")
+	readOnly := flag.Bool("read-only", false,
+		"loadgen: filter the TPC-C stream to SELECTs (deterministic counters for -bench-out)")
+	onlineTune := flag.Bool("online-tune", false,
+		"loadgen: run a tuning round concurrently with the load, applying indexes as online builds")
 	flag.Parse()
 	experiments.RoundTimeout = *roundTimeout
 
@@ -78,7 +99,18 @@ func main() {
 	}
 
 	if *useLoadgen {
-		if err := runLoadgen(*seed, *scale, *qps, *duration, *workers, *benchOut); err != nil {
+		o := loadgenOpts{
+			seed:        *seed,
+			scale:       *scale,
+			qps:         *qps,
+			duration:    *duration,
+			workers:     *workers,
+			maxRequests: *maxRequests,
+			readOnly:    *readOnly,
+			onlineTune:  *onlineTune,
+			benchOut:    *benchOut,
+		}
+		if err := runLoadgen(o); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner: loadgen:", err)
 			os.Exit(1)
 		}
@@ -147,38 +179,117 @@ func writeSnapshot(path, exp string, seed int64, quick bool, wall time.Duration)
 	return nil
 }
 
+// loadgenOpts bundles the -loadgen flag set.
+type loadgenOpts struct {
+	seed        int64
+	scale       int
+	qps         float64
+	duration    time.Duration
+	workers     int
+	maxRequests int
+	readOnly    bool
+	onlineTune  bool
+	benchOut    string
+}
+
+// tuneOutcome carries the concurrent tuning round's result back to the
+// foreground once the load finishes.
+type tuneOutcome struct {
+	rec *autoindex.Recommendation
+	rep *autoindex.ApplyReport
+	err error
+}
+
 // runLoadgen drives the open-loop generator against a freshly loaded TPC-C
-// database: seeded Poisson arrivals at -qps for -duration, executed by a
-// fixed -workers pool, response time measured from each request's
-// *scheduled* start so queueing (coordinated omission) is charged to the
-// tail percentiles.
-func runLoadgen(seed int64, scale int, qps float64, duration time.Duration, workers int, benchOut string) error {
+// database: seeded Poisson arrivals at -qps for -duration (or until
+// -max-requests), executed by a fixed -workers pool through the concurrent
+// session layer, response time measured from each request's *scheduled*
+// start so queueing (coordinated omission) is charged to the tail
+// percentiles. With -online-tune a recommend→apply round runs concurrently
+// with the load and the recommended indexes are built online.
+func runLoadgen(o loadgenOpts) error {
 	header(fmt.Sprintf("Open-loop load generator — TPC-C%dx, %.0f req/s Poisson, %v, %d workers",
-		scale, qps, duration, workers))
+		o.scale, o.qps, o.duration, o.workers))
 	db := engine.New()
-	l := tpcc.NewLoader(tpcc.Scale(scale), seed)
+	l := tpcc.NewLoader(tpcc.Scale(o.scale), o.seed)
 	if err := l.Load(db); err != nil {
 		return err
 	}
 	// A generous template stream; arrivals cycle through it round-robin.
 	stmts := harness.Flatten(l.Transactions(500, tpcc.StandardMix()))
+	if o.readOnly {
+		kept := stmts[:0:0]
+		for _, s := range stmts {
+			if strings.HasPrefix(strings.ToUpper(strings.TrimSpace(s)), "SELECT") {
+				kept = append(kept, s)
+			}
+		}
+		stmts = kept
+		fmt.Printf("read-only stream: %d SELECT statements\n", len(stmts))
+	}
+
+	// All traffic routes through one session manager: SELECTs share the
+	// reader lock, writes and index publishes serialize against it.
+	sm := session.New(db, session.Options{Seed: o.seed, Registry: obs.DefaultRegistry()})
+	ctx := context.Background()
+
+	var tuneCh chan tuneOutcome
+	if o.onlineTune {
+		mgr := autoindex.New(db, autoindex.Options{
+			MCTS: mcts.Config{Iterations: 200, Rollouts: 4, Seed: o.seed, EarlyStopRounds: 50},
+		})
+		mgr.UseSessions(sm)
+		// Observe the planned stream up front so the recommendation is a
+		// deterministic function of the seed, not of arrival timing.
+		for _, s := range stmts {
+			if err := mgr.Observe(s); err != nil {
+				return err
+			}
+		}
+		tuneCh = make(chan tuneOutcome, 1)
+		go func() {
+			rec, err := mgr.Recommend(ctx)
+			if err != nil {
+				tuneCh <- tuneOutcome{err: err}
+				return
+			}
+			rep, err := mgr.Apply(ctx, rec)
+			tuneCh <- tuneOutcome{rec: rec, rep: rep, err: err}
+		}()
+	}
 
 	start := time.Now()
-	res, err := loadgen.Run(context.Background(), loadgen.NewDBExecutor(db), loadgen.Config{
-		Seed:       seed,
-		QPS:        qps,
-		Duration:   duration,
-		Workers:    workers,
-		Statements: stmts,
-		Registry:   obs.DefaultRegistry(),
+	res, err := loadgen.Run(ctx, loadgen.NewSessionExecutor(sm), loadgen.Config{
+		Seed:        o.seed,
+		QPS:         o.qps,
+		Duration:    o.duration,
+		Workers:     o.workers,
+		MaxRequests: o.maxRequests,
+		Statements:  stmts,
+		Registry:    obs.DefaultRegistry(),
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Println(res)
 
-	if benchOut != "" {
-		snap := obs.BuildBenchSnapshot("loadgen", seed, false, time.Since(start), obs.DefaultRegistry())
+	if tuneCh != nil {
+		out := <-tuneCh
+		if out.err != nil {
+			return fmt.Errorf("online tune: %w", out.err)
+		}
+		fmt.Printf("online tune: %d created, %d dropped (background=%v catchup_rows=%d code=%d)\n",
+			len(out.rep.Created), len(out.rep.Dropped), out.rep.Background,
+			out.rep.CatchupRows, out.rep.Code)
+		fmt.Printf("foreground during build: %d requests, %d failed, max concurrent readers %d\n",
+			res.Requests, res.Errors, sm.MaxConcurrentReaders())
+		if res.Errors > 0 {
+			return fmt.Errorf("online tune: %d foreground statements failed during the run", res.Errors)
+		}
+	}
+
+	if o.benchOut != "" {
+		snap := obs.BuildBenchSnapshot("loadgen", o.seed, false, time.Since(start), obs.DefaultRegistry())
 		snap.ThroughputPerSec = res.AchievedQPS
 		snap.Errors = int64(res.Errors)
 		snap.Latency = obs.LatencySummary{
@@ -189,10 +300,10 @@ func runLoadgen(seed int64, scale int, qps float64, duration time.Duration, work
 			P95:   res.P95.Seconds(),
 			P99:   res.P99.Seconds(),
 		}
-		if err := snap.WriteFile(benchOut); err != nil {
+		if err := snap.WriteFile(o.benchOut); err != nil {
 			return err
 		}
-		fmt.Printf("bench snapshot → %s\n", benchOut)
+		fmt.Printf("bench snapshot → %s\n", o.benchOut)
 	}
 	return nil
 }

@@ -6,8 +6,10 @@ import (
 	"strings"
 
 	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/session"
 	"repro/internal/sqlparser"
 )
 
@@ -35,6 +37,16 @@ type ApplyReport struct {
 	RollbackErr error
 	// Err is the failure that triggered the rollback (nil on success).
 	Err error
+	// Background reports that creates ran as non-blocking online builds
+	// through the session layer instead of stop-the-world CREATE INDEX.
+	Background bool
+	// CatchupRows counts change-log writes the online builds replayed after
+	// their snapshots (0 for foreground applies).
+	CatchupRows int64
+	// Code classifies Err on the async-index convention: 0 success,
+	// [1,10000) temporary (already retried with seeded backoff before
+	// surfacing), >=10000 permanent.
+	Code session.ErrCode
 }
 
 // Apply executes a recommendation transactionally: drops first (freeing
@@ -59,11 +71,16 @@ func (m *Manager) ApplyDrops(ctx context.Context, names []string) (*ApplyReport,
 
 func (m *Manager) applySpanned(ctx context.Context, rec *Recommendation, parent *obs.Span) (rep *ApplyReport, err error) {
 	span := m.childOrRoot(parent, "apply")
-	rep = &ApplyReport{}
+	rep = &ApplyReport{Background: m.sessions != nil}
 	defer func() {
 		rep.Err = err
+		rep.Code = session.Classify(err)
 		span.SetAttr("created", len(rep.Created))
 		span.SetAttr("dropped", len(rep.Dropped))
+		if rep.Background {
+			span.SetAttr("background", true)
+			span.SetAttr("catchup_rows", rep.CatchupRows)
+		}
 		if rep.RolledBack {
 			span.SetAttr("rolled_back", true)
 			if rep.RollbackErr != nil {
@@ -83,7 +100,7 @@ func (m *Manager) applySpanned(ctx context.Context, rec *Recommendation, parent 
 		if meta != nil {
 			snapshot = cloneIndexMeta(meta)
 		}
-		if derr := m.retryTransient(func() error { return m.db.DropIndex(name) }); derr != nil {
+		if derr := m.retryTransient(func() error { return m.dropIndex(name) }); derr != nil {
 			m.rollback(rep)
 			return rep, fmt.Errorf("autoindex: drop %s: %w", name, derr)
 		}
@@ -98,22 +115,60 @@ func (m *Manager) applySpanned(ctx context.Context, rec *Recommendation, parent 
 		if m.db.Catalog().Index(name) != nil {
 			continue // already exists (e.g. a concurrent manual CREATE INDEX)
 		}
-		local := ""
-		if spec.Local {
-			local = "LOCAL "
-		}
-		stmt := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", local, name, spec.Table,
-			strings.Join(spec.Columns, ", "))
-		if cerr := m.retryTransient(func() error {
-			_, err := m.db.Exec(stmt)
-			return err
-		}); cerr != nil {
+		if cerr := m.createIndex(ctx, span, name, spec, rep); cerr != nil {
 			m.rollback(rep)
 			return rep, fmt.Errorf("autoindex: create %s: %w", name, cerr)
 		}
 		rep.Created = append(rep.Created, name)
 	}
 	return rep, nil
+}
+
+// createIndex builds one index. With a session layer attached the build is
+// online — snapshot, bulk-build, change-log catchup, atomic publish — and
+// traced as an online_build child span; retries on temporary errors happen
+// inside the session layer with seeded backoff, so the foreground
+// retryTransient wrapper applies only to the direct path.
+func (m *Manager) createIndex(ctx context.Context, span *obs.Span, name string, spec *catalog.IndexMeta, rep *ApplyReport) error {
+	if m.sessions != nil {
+		bspan := span.Child("online_build")
+		bspan.SetAttr("index", name)
+		buildRep, err := m.sessions.BuildIndexOnlineMonitored(ctx, engine.IndexBuildSpec{
+			Name:    name,
+			Table:   spec.Table,
+			Columns: spec.Columns,
+			Unique:  spec.Unique,
+			Local:   spec.Local,
+		}, &buildSpanMonitor{span: bspan})
+		if buildRep != nil {
+			rep.CatchupRows += buildRep.CatchupRows
+			bspan.SetAttr("state", buildRep.State.String())
+			bspan.SetAttr("catchup_rows", buildRep.CatchupRows)
+			bspan.SetAttr("retries", buildRep.Retries)
+			bspan.SetAttr("code", int(buildRep.Code))
+		}
+		bspan.End()
+		return err
+	}
+	local := ""
+	if spec.Local {
+		local = "LOCAL "
+	}
+	stmt := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", local, name, spec.Table,
+		strings.Join(spec.Columns, ", "))
+	return m.retryTransient(func() error {
+		_, err := m.db.Exec(stmt)
+		return err
+	})
+}
+
+// dropIndex removes an index, behind the exclusive session lock when one is
+// attached (a drop swaps catalog and tree state under running readers).
+func (m *Manager) dropIndex(name string) error {
+	if m.sessions != nil {
+		return m.sessions.Exclusive(func(db *engine.DB) error { return db.DropIndex(name) })
+	}
+	return m.db.DropIndex(name)
 }
 
 // rollback reverts the report's completed changes in reverse order of
@@ -125,7 +180,7 @@ func (m *Manager) rollback(rep *ApplyReport) {
 	rep.RolledBack = true
 	for i := len(rep.Created) - 1; i >= 0; i-- {
 		name := rep.Created[i]
-		if err := m.retryTransient(func() error { return m.db.DropIndex(name) }); err != nil {
+		if err := m.retryTransient(func() error { return m.dropIndex(name) }); err != nil {
 			if rep.RollbackErr == nil {
 				rep.RollbackErr = fmt.Errorf("autoindex: rollback drop %s: %w", name, err)
 			}
@@ -146,18 +201,25 @@ func (m *Manager) rollback(rep *ApplyReport) {
 
 // rebuildIndex recreates a dropped index from its snapshot, preserving
 // uniqueness and locality. It goes through the engine's statement boundary
-// so injected faults during the rebuild surface as errors, not panics.
+// so injected faults during the rebuild surface as errors, not panics; with
+// a session layer attached the statement routes through its exclusive lock.
 func (m *Manager) rebuildIndex(meta *catalog.IndexMeta) error {
 	if m.db.Catalog().Index(meta.Name) != nil {
 		return nil
 	}
-	_, err := m.db.ExecStmt(&sqlparser.CreateIndexStmt{
+	stmt := &sqlparser.CreateIndexStmt{
 		Name:    meta.Name,
 		Table:   meta.Table,
 		Columns: meta.Columns,
 		Unique:  meta.Unique,
 		Local:   meta.Local,
-	})
+	}
+	var err error
+	if m.sessions != nil {
+		_, err = m.sessions.ExecStmt(stmt)
+	} else {
+		_, err = m.db.ExecStmt(stmt)
+	}
 	return err
 }
 

@@ -13,6 +13,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/candgen"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/floatcmp"
 	"repro/internal/mcts"
 	"repro/internal/obs"
+	"repro/internal/session"
 	"repro/internal/template"
 	"repro/internal/workload"
 )
@@ -107,6 +109,15 @@ type Manager struct {
 	rounds           int64
 	outcomes         []AppliedOutcome
 	lastMeasuredCost float64
+	// sessions, when set, is the concurrent serving layer the manager tunes
+	// through: search phases take its exclusive lock (what-if estimation
+	// mounts hypothetical indexes on the shared catalog), creates become
+	// online background builds, and drops serialize behind the same lock.
+	sessions *session.Manager
+	// observeMu serializes Observe: under sessions, the statement observer
+	// fires from concurrent reader goroutines, and the template store is not
+	// internally synchronized.
+	observeMu sync.Mutex
 }
 
 // New creates a manager over a live database. Observability defaults to the
@@ -135,9 +146,35 @@ func (m *Manager) Estimator() *costmodel.Estimator { return m.estimator }
 // TemplateStore exposes the SQL2Template store.
 func (m *Manager) TemplateStore() *template.Store { return m.store }
 
+// UseSessions routes the manager's tuning through a session layer: search
+// phases (Diagnose, Recommend, Tune's search half, PruneRecommendation) run
+// under the exclusive lock so concurrent readers never plan against
+// hypothetical what-if indexes, index creates become non-blocking online
+// builds (session.BuildIndexOnline), and drops serialize behind the same
+// lock. The session manager must wrap the same database. Pass nil to revert
+// to direct (single-threaded) mode.
+func (m *Manager) UseSessions(sm *session.Manager) { m.sessions = sm }
+
+// Sessions returns the attached session layer (nil in direct mode).
+func (m *Manager) Sessions() *session.Manager { return m.sessions }
+
+// exclusiveIfSessions runs fn under the session layer's exclusive lock when
+// one is attached, else directly. Do not call from inside another exclusive
+// section — the lock does not re-enter.
+func (m *Manager) exclusiveIfSessions(fn func() error) error {
+	if m.sessions == nil {
+		return fn()
+	}
+	return m.sessions.Exclusive(func(*engine.DB) error { return fn() })
+}
+
 // Observe routes one executed statement into the template store. Call it
 // for every workload statement (or use Attach to hook the engine directly).
+// Safe for concurrent use: under a session layer the attached observer
+// fires from parallel reader sessions.
 func (m *Manager) Observe(sql string) error {
+	m.observeMu.Lock()
+	defer m.observeMu.Unlock()
 	_, _, err := m.store.ObserveSQL(sql)
 	return err
 }
@@ -177,9 +214,16 @@ func (m *Manager) TrainEstimator() error {
 // SampleCount returns how many training samples are logged.
 func (m *Manager) SampleCount() int { return len(m.samples) }
 
-// Diagnose runs the index diagnosis over the current window.
+// Diagnose runs the index diagnosis over the current window. With a session
+// layer attached it holds the exclusive lock for the duration.
 func (m *Manager) Diagnose(ctx context.Context) (*diagnosis.Report, error) {
-	return m.diagnoseSpanned(ctx, nil)
+	var rep *diagnosis.Report
+	err := m.exclusiveIfSessions(func() error {
+		var derr error
+		rep, derr = m.diagnoseSpanned(ctx, nil)
+		return derr
+	})
+	return rep, err
 }
 
 func (m *Manager) diagnoseSpanned(ctx context.Context, parent *obs.Span) (*diagnosis.Report, error) {
@@ -243,7 +287,13 @@ func (m *Manager) Recommend(ctx context.Context) (*Recommendation, error) {
 	defer round.End()
 	ctx, cancel := m.roundContext(ctx)
 	defer cancel()
-	return m.recommendSpanned(ctx, m.spannedRoundWorkload(round), round)
+	var rec *Recommendation
+	err := m.exclusiveIfSessions(func() error {
+		var rerr error
+		rec, rerr = m.recommendSpanned(ctx, m.spannedRoundWorkload(round), round)
+		return rerr
+	})
+	return rec, err
 }
 
 // roundContext tightens ctx with the configured round timeout, if any.
@@ -280,7 +330,13 @@ func (m *Manager) RecommendOn(ctx context.Context, w *workload.Workload) (*Recom
 	defer round.End()
 	ctx, cancel := m.roundContext(ctx)
 	defer cancel()
-	return m.recommendSpanned(ctx, w, round)
+	var rec *Recommendation
+	err := m.exclusiveIfSessions(func() error {
+		var rerr error
+		rec, rerr = m.recommendSpanned(ctx, w, round)
+		return rerr
+	})
+	return rec, err
 }
 
 // recommendSpanned is the tuning-round core; round (nil-safe) receives the
@@ -444,6 +500,16 @@ func (m *Manager) recommendSpanned(ctx context.Context, w *workload.Workload, ro
 // path of the paper's Fig.-1 banking removal — the policy tree then only has
 // to reason about the contested indexes. Returns the names to drop.
 func (m *Manager) PruneRecommendation(ctx context.Context, w *workload.Workload) ([]string, error) {
+	var drops []string
+	err := m.exclusiveIfSessions(func() error {
+		var perr error
+		drops, perr = m.pruneRecommendation(ctx, w)
+		return perr
+	})
+	return drops, err
+}
+
+func (m *Manager) pruneRecommendation(ctx context.Context, w *workload.Workload) ([]string, error) {
 	usage := m.db.IndexUsage()
 	existing := m.realSecondaryIndexes()
 	if len(w.Queries) == 0 {
@@ -498,18 +564,28 @@ func (m *Manager) Tune(ctx context.Context, force bool) (*Recommendation, error)
 	}
 	searchCtx, cancel := m.roundContext(ctx)
 	defer cancel()
-	if !force {
-		rep, err := m.diagnoseSpanned(searchCtx, round)
-		if err != nil {
-			return nil, err
+	// The search half holds the exclusive lock (hypothetical what-if
+	// mounts); the apply half runs outside it so online builds can take the
+	// reader lock for their snapshot phase without self-deadlocking.
+	var rec *Recommendation
+	skipped := false
+	err := m.exclusiveIfSessions(func() error {
+		if !force {
+			rep, derr := m.diagnoseSpanned(searchCtx, round)
+			if derr != nil {
+				return derr
+			}
+			if !rep.NeedsTuning {
+				round.SetAttr("skipped", "no_tuning_needed")
+				skipped = true
+				return nil
+			}
 		}
-		if !rep.NeedsTuning {
-			round.SetAttr("skipped", "no_tuning_needed")
-			return nil, nil
-		}
-	}
-	rec, err := m.recommendSpanned(searchCtx, m.spannedRoundWorkload(round), round)
-	if err != nil {
+		var rerr error
+		rec, rerr = m.recommendSpanned(searchCtx, m.spannedRoundWorkload(round), round)
+		return rerr
+	})
+	if err != nil || skipped {
 		return nil, err
 	}
 	if _, err := m.applySpanned(ctx, rec, round); err != nil {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/obs"
+	"repro/internal/session"
 )
 
 // TestSameSeedRunsAreByteIdentical runs the full recommendation pipeline
@@ -91,5 +92,55 @@ func TestSameSeedRunsAreByteIdentical(t *testing.T) {
 	}
 	if reg := obs.DefaultRegistry(); reg.Counter("engine_statements_total", "").Value() == 0 {
 		t.Fatal("instrumented run recorded no engine statements — registry was not picked up")
+	}
+}
+
+// TestSameSeedRunsAreByteIdenticalWithSessions repeats the determinism
+// contract through the session layer: routing the identical pipeline through
+// session.Manager — exclusive-locked search, online background builds with
+// change-log catchup instead of stop-the-world CREATE INDEX — must leave the
+// recommendation and the StateReport byte-identical to the direct path. The
+// concurrency machinery may change timing, never results.
+func TestSameSeedRunsAreByteIdenticalWithSessions(t *testing.T) {
+	run := func(useSessions bool) (*Recommendation, []byte) {
+		db, reads := readHeavyDB(t)
+		m := New(db, Options{MCTS: mctsFast()})
+		if useSessions {
+			m.UseSessions(session.New(db, session.Options{Seed: 1}))
+		}
+		for _, sql := range reads {
+			if err := m.Observe(sql); err != nil {
+				t.Fatal(err)
+			}
+		}
+		rec, err := m.Recommend(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := m.Apply(context.Background(), rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if useSessions != rep.Background {
+			t.Fatalf("Background = %v with sessions = %v", rep.Background, useSessions)
+		}
+		js, err := m.Report().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec, js
+	}
+
+	recDirect, jsDirect := run(false)
+	recSess, jsSess := run(true)
+	if k1, k2 := recKeys(recDirect), recKeys(recSess); k1 != k2 {
+		t.Fatalf("recommendations differ: %q vs %q", k1, k2)
+	}
+	if recDirect.BaseCost != recSess.BaseCost || recDirect.BestCost != recSess.BestCost {
+		t.Fatalf("costs differ: base %v vs %v, best %v vs %v",
+			recDirect.BaseCost, recSess.BaseCost, recDirect.BestCost, recSess.BestCost)
+	}
+	if !bytes.Equal(jsDirect, jsSess) {
+		t.Fatalf("session-routed run is not byte-identical to the direct run:\n--- direct ---\n%s\n--- sessions ---\n%s", jsDirect, jsSess)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/obs"
+	"repro/internal/session"
 )
 
 // managerMetrics holds the manager's pre-resolved instrument handles.
@@ -71,6 +72,21 @@ func (m *Manager) startRound(kind string) *obs.Span {
 	span.SetAttr("round", m.rounds)
 	span.SetAttr("kind", kind)
 	return span
+}
+
+// buildSpanMonitor mirrors an online build's state machine onto the apply
+// trace: each transition becomes an event on the online_build child span,
+// so the tuning-round tree shows snapshot → bulk → catchup → published (or
+// failed) with timestamps. Nil-receiver-safe per the BuildMonitor contract.
+type buildSpanMonitor struct {
+	span *obs.Span
+}
+
+func (b *buildSpanMonitor) BuildStateChanged(index string, state session.BuildState) {
+	if b == nil {
+		return
+	}
+	b.span.Event("build_state", "index", index, "state", state.String())
 }
 
 // AppliedOutcome tracks one applied recommendation's predicted benefit and,

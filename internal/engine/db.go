@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/catalog"
@@ -27,17 +28,19 @@ type DB struct {
 	// indexes maps index name to its trees: one tree for normal/global
 	// indexes, one per partition for LOCAL indexes on partitioned tables.
 	indexes map[string][]*btree.Tree
-	io      storage.IOCounter
-	// cumulative CPU-ish counters for the current statement
-	tuplesProcessed int64
-	indexTuplesRW   int64
-	operatorEvals   int64
-	indexDescents   int64
+	// statsMu guards the cross-statement bookkeeping below (indexUsage,
+	// statements), which concurrent reader sessions update in parallel. All
+	// other DB state is protected by the session layer's reader/writer
+	// discipline: structural mutations only happen under its exclusive lock.
+	statsMu sync.Mutex
 	// indexUsage counts, per index name, how many statements probed it;
 	// the diagnosis module reads this to spot rarely-used indexes.
 	indexUsage map[string]int64
 	// statements counts executed statements since creation.
 	statements int64
+	// changeLog, when attached by an online index build, records every write
+	// so the build can replay changes that landed after its snapshot scan.
+	changeLog *ChangeLog
 	// observer, when set, receives every executed statement's SQL text
 	// (AutoIndex attaches here to feed its template store, mirroring the
 	// paper's server-side workload logging).
@@ -56,6 +59,17 @@ type DB struct {
 // SetObserver installs a statement observer (nil to detach). The observer
 // runs synchronously before execution.
 func (db *DB) SetObserver(fn func(sql string)) { db.observer = fn }
+
+// stmtState is the per-statement scratch: IO and CPU-ish work counters for
+// exactly one statement. Each ExecStmt call owns its own instance, so
+// concurrent reader sessions never contend on shared counters.
+type stmtState struct {
+	io              storage.IOCounter
+	tuplesProcessed int64
+	indexTuplesRW   int64
+	operatorEvals   int64
+	indexDescents   int64
+}
 
 // ExecStats summarizes the measured work of one statement. ActualCost() is
 // the deterministic latency proxy used throughout the experiments.
@@ -164,6 +178,8 @@ func (db *DB) SetFaultInjector(in *fault.Injector) {
 
 // IndexUsage returns a copy of the per-index probe counters.
 func (db *DB) IndexUsage() map[string]int64 {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
 	out := make(map[string]int64, len(db.indexUsage))
 	for k, v := range db.indexUsage {
 		out[k] = v
@@ -171,13 +187,26 @@ func (db *DB) IndexUsage() map[string]int64 {
 	return out
 }
 
+// bumpIndexUsage counts one statement-level probe of an index.
+func (db *DB) bumpIndexUsage(name string) {
+	db.statsMu.Lock()
+	db.indexUsage[name]++
+	db.statsMu.Unlock()
+}
+
 // StatementCount returns how many statements have executed.
-func (db *DB) StatementCount() int64 { return db.statements }
+func (db *DB) StatementCount() int64 {
+	db.statsMu.Lock()
+	defer db.statsMu.Unlock()
+	return db.statements
+}
 
 // ResetUsage zeroes the usage counters (start of a tuning window).
 func (db *DB) ResetUsage() {
+	db.statsMu.Lock()
 	db.indexUsage = make(map[string]int64)
 	db.statements = 0
+	db.statsMu.Unlock()
 }
 
 // Catalog exposes the schema registry (AutoIndex reads stats and registers
@@ -203,21 +232,21 @@ func (db *DB) CreateTable(stmt *sqlparser.CreateTableStmt) error {
 		t.PartitionBy = pcol
 		t.Partitions = stmt.Partitions
 	}
-	heap := storage.NewHeap(&db.io)
+	heap := storage.NewHeap()
 	heap.SetFaultInjector(db.faults)
 	db.heaps[t.Name] = heap
 	if len(stmt.PrimaryKey) > 0 {
-		return db.createIndex("pk_"+t.Name, t.Name, stmt.PrimaryKey, true, false)
+		return db.createIndex(&stmtState{}, "pk_"+t.Name, t.Name, stmt.PrimaryKey, true, false)
 	}
 	return nil
 }
 
 // CreateIndex builds a real index, populating it from the heap.
 func (db *DB) CreateIndex(stmt *sqlparser.CreateIndexStmt) error {
-	return db.createIndex(stmt.Name, stmt.Table, stmt.Columns, stmt.Unique, stmt.Local)
+	return db.createIndex(&stmtState{}, stmt.Name, stmt.Table, stmt.Columns, stmt.Unique, stmt.Local)
 }
 
-func (db *DB) createIndex(name, table string, columns []string, unique, local bool) error {
+func (db *DB) createIndex(st *stmtState, name, table string, columns []string, unique, local bool) error {
 	t := db.cat.Table(table)
 	if t == nil {
 		return fmt.Errorf("engine: unknown table %q", table)
@@ -272,7 +301,7 @@ func (db *DB) createIndex(name, table string, columns []string, unique, local bo
 	// fast path: one sort, packed pages, no splits).
 	entries := make([][]btree.Entry, nTrees)
 	var keyBytes int64
-	heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
+	heap.Scan(&st.io, func(rid btree.RID, tup sqltypes.Tuple) bool {
 		key := make(sqltypes.Key, len(positions))
 		for i, p := range positions {
 			key[i] = tup[p]
@@ -422,7 +451,7 @@ func (db *DB) Analyze(table string) error {
 	}
 	var rows int64
 	var tupleBytes float64
-	heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
+	heap.Scan(nil, func(rid btree.RID, tup sqltypes.Tuple) bool {
 		rows++
 		for i := range t.Columns {
 			if i >= len(tup) {
@@ -503,23 +532,14 @@ func (db *DB) AnalyzeAll() error {
 	return nil
 }
 
-// resetStatementCounters zeroes the per-statement counters.
-func (db *DB) resetStatementCounters() {
-	db.io.Reset()
-	db.tuplesProcessed = 0
-	db.indexTuplesRW = 0
-	db.operatorEvals = 0
-	db.indexDescents = 0
-}
-
 // snapshotStats captures the per-statement counters into ExecStats.
-func (db *DB) snapshotStats(splitsBefore int64) ExecStats {
+func (db *DB) snapshotStats(st *stmtState, splitsBefore int64) ExecStats {
 	return ExecStats{
-		IO:              db.io,
-		TuplesProcessed: db.tuplesProcessed,
-		IndexTuplesRW:   db.indexTuplesRW,
-		OperatorEvals:   db.operatorEvals,
-		IndexDescents:   db.indexDescents,
+		IO:              st.io,
+		TuplesProcessed: st.tuplesProcessed,
+		IndexTuplesRW:   st.indexTuplesRW,
+		OperatorEvals:   st.operatorEvals,
+		IndexDescents:   st.indexDescents,
 		IndexSplits:     db.totalSplits() - splitsBefore,
 	}
 }
@@ -573,7 +593,10 @@ func (db *DB) BulkLoad(table string, rows []sqltypes.Tuple) (err error) {
 			return fmt.Errorf("engine: bulk tuple arity %d, table %q has %d columns",
 				len(tup), t.Name, len(t.Columns))
 		}
-		rid := heap.Insert(tup)
+		rid := heap.Insert(tup, nil)
+		if db.changeLog != nil {
+			db.changeLog.Append(ChangeEntry{Table: t.Name, Op: ChangeInsert, RID: rid, New: tup})
+		}
 		for _, st := range states {
 			key := make(sqltypes.Key, len(st.positions))
 			for i, p := range st.positions {

@@ -50,7 +50,10 @@ func (ci colIndex) addBinding(binding string, cols []string) {
 
 // evalCtx carries everything expression evaluation needs.
 type evalCtx struct {
-	db   *DB
+	db *DB
+	// st is the owning statement's counter scratch; nested statement
+	// execution (subqueries, materialized CTE-like nodes) shares it.
+	st   *stmtState
 	cols colIndex
 	// subqueryCache memoizes uncorrelated subquery results per statement.
 	subqueryCache map[*sqlparser.SelectStmt][]sqltypes.Value
@@ -245,7 +248,7 @@ func (c *evalCtx) scalarSubquery(q *sqlparser.SelectStmt) ([]sqltypes.Value, err
 	if cached, ok := c.subqueryCache[q]; ok {
 		return cached, nil
 	}
-	res, err := c.db.execSelect(q)
+	res, err := c.db.execSelect(c.st, q)
 	if err != nil {
 		return nil, err
 	}

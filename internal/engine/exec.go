@@ -19,6 +19,13 @@ func (db *DB) Exec(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	return db.ExecParsed(sql, stmt)
+}
+
+// ExecParsed executes an already-parsed statement, still running the
+// observer on the original SQL text. The session layer parses once to
+// classify reads vs writes and then routes here.
+func (db *DB) ExecParsed(sql string, stmt sqlparser.Statement) (*Result, error) {
 	if db.observer != nil {
 		db.observer(sql)
 	}
@@ -30,8 +37,10 @@ func (db *DB) Exec(sql string) (*Result, error) {
 // faults surfacing from paths without an error return) are recovered here and
 // returned as errors, so one poisoned statement cannot kill the process.
 func (db *DB) ExecStmt(stmt sqlparser.Statement) (res *Result, err error) {
-	db.resetStatementCounters()
+	st := &stmtState{}
+	db.statsMu.Lock()
 	db.statements++
+	db.statsMu.Unlock()
 	splitsBefore := db.totalSplits()
 	// Wall-clock service time is only measured while instrumented: the
 	// latency hook the load generator and bench snapshots read, and two
@@ -52,18 +61,18 @@ func (db *DB) ExecStmt(stmt sqlparser.Statement) (res *Result, err error) {
 	defer db.recoverToError("ExecStmt", &res, &err)
 	switch s := stmt.(type) {
 	case *sqlparser.SelectStmt:
-		res, err = db.execSelect(s)
+		res, err = db.execSelect(st, s)
 	case *sqlparser.InsertStmt:
-		res, err = db.execInsert(s)
+		res, err = db.execInsert(st, s)
 	case *sqlparser.UpdateStmt:
-		res, err = db.execUpdate(s)
+		res, err = db.execUpdate(st, s)
 	case *sqlparser.DeleteStmt:
-		res, err = db.execDelete(s)
+		res, err = db.execDelete(st, s)
 	case *sqlparser.CreateTableStmt:
 		err = db.CreateTable(s)
 		res = &Result{}
 	case *sqlparser.CreateIndexStmt:
-		err = db.CreateIndex(s)
+		err = db.createIndex(st, s.Name, s.Table, s.Columns, s.Unique, s.Local)
 		res = &Result{}
 	case *sqlparser.DropIndexStmt:
 		err = db.DropIndex(s.Name)
@@ -77,7 +86,7 @@ func (db *DB) ExecStmt(stmt sqlparser.Statement) (res *Result, err error) {
 		return nil, err
 	}
 	affected := res.Stats.RowsAffected
-	res.Stats = db.snapshotStats(splitsBefore)
+	res.Stats = db.snapshotStats(st, splitsBefore)
 	res.Stats.RowsReturned = int64(len(res.Rows))
 	res.Stats.RowsAffected = affected
 	if db.metrics != nil {
@@ -120,17 +129,17 @@ func (db *DB) execExplain(s *sqlparser.ExplainStmt) (*Result, error) {
 }
 
 // execSelect plans and executes a SELECT.
-func (db *DB) execSelect(stmt *sqlparser.SelectStmt) (*Result, error) {
+func (db *DB) execSelect(st *stmtState, stmt *sqlparser.SelectStmt) (*Result, error) {
 	plan, err := planner.PlanSelect(db.cat, stmt)
 	if err != nil {
 		return nil, err
 	}
-	ctx := &evalCtx{db: db, cols: make(colIndex)}
+	ctx := &evalCtx{db: db, st: st, cols: make(colIndex)}
 	rows, err := db.runNode(ctx, plan.Root)
 	if err != nil {
 		return nil, err
 	}
-	db.operatorEvals += ctx.ops
+	st.operatorEvals += ctx.ops
 
 	// The root is Project/Agg/Limit/Sort; its output rows carry a synthetic
 	// "" binding holding the final projected tuple.
@@ -221,8 +230,8 @@ func (db *DB) runSeqScan(ctx *evalCtx, n *planner.SeqScanNode) ([]row, error) {
 		if fast := compileExpr(n.Filter, n.Binding, ctx.cols[n.Binding]); fast != nil {
 			// Compiled path: filter before allocating the row map, so
 			// rejected tuples cost zero allocations.
-			heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
-				db.tuplesProcessed++
+			heap.Scan(&ctx.st.io, func(rid btree.RID, tup sqltypes.Tuple) bool {
+				ctx.st.tuplesProcessed++
 				ok, err := fast(tup, &ctx.ops)
 				if err != nil {
 					scanErr = err
@@ -239,8 +248,8 @@ func (db *DB) runSeqScan(ctx *evalCtx, n *planner.SeqScanNode) ([]row, error) {
 			return out, scanErr
 		}
 	}
-	heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
-		db.tuplesProcessed++
+	heap.Scan(&ctx.st.io, func(rid btree.RID, tup sqltypes.Tuple) bool {
+		ctx.st.tuplesProcessed++
 		r := newRow()
 		r.vals[n.Binding] = tup
 		if n.Filter != nil {
@@ -269,7 +278,7 @@ func (db *DB) runIndexScan(ctx *evalCtx, n *planner.IndexScanNode, outer *row) (
 	if len(trees) == 0 {
 		return nil, fmt.Errorf("engine: index %q has no tree (hypothetical index executed?)", n.Index.Name)
 	}
-	db.indexUsage[n.Index.Name]++
+	db.bumpIndexUsage(n.Index.Name)
 	if db.metrics != nil {
 		db.metrics.indexProbes.With(n.Index.Name).Inc()
 	}
@@ -296,14 +305,14 @@ func (db *DB) runIndexScan(ctx *evalCtx, n *planner.IndexScanNode, outer *row) (
 	var scanErr error
 	for _, pb := range bounds {
 		for _, tree := range probe {
-			db.indexDescents += int64(tree.Height())
+			ctx.st.indexDescents += int64(tree.Height())
 			pages := tree.ScanRange(pb.lo, pb.hi, pb.loInc, pb.hiInc, func(e btree.Entry) bool {
-				db.indexTuplesRW++
-				tup := heap.Fetch(e.RID)
+				ctx.st.indexTuplesRW++
+				tup := heap.Fetch(e.RID, &ctx.st.io)
 				if tup == nil {
 					return true // tombstoned heap tuple with stale index entry
 				}
-				db.tuplesProcessed++
+				ctx.st.tuplesProcessed++
 				if fast != nil {
 					ok, err := fast(tup, &ctx.ops)
 					if err != nil {
@@ -333,7 +342,7 @@ func (db *DB) runIndexScan(ctx *evalCtx, n *planner.IndexScanNode, outer *row) (
 				out = append(out, r)
 				return true
 			})
-			db.io.IndexPagesRead += pages
+			ctx.st.io.IndexPagesRead += pages
 			if scanErr != nil {
 				return nil, scanErr
 			}
@@ -435,7 +444,7 @@ func (db *DB) probeTrees(meta *catalog.IndexMeta, eqKey sqltypes.Key, trees []*b
 func (db *DB) runMaterialize(ctx *evalCtx, n *planner.MaterializeNode) ([]row, error) {
 	// Execute the subquery in a child context, then re-expose its projected
 	// tuples under this binding.
-	res, err := db.execSelect(n.Select)
+	res, err := db.execSelect(ctx.st, n.Select)
 	if err != nil {
 		return nil, err
 	}
@@ -497,7 +506,7 @@ func (db *DB) runJoin(ctx *evalCtx, n *planner.JoinNode) ([]row, error) {
 			}
 			k := v.String()
 			table[k] = append(table[k], i)
-			db.tuplesProcessed++
+			ctx.st.tuplesProcessed++
 		}
 		var out []row
 		for li := range left {
@@ -667,7 +676,7 @@ func (db *DB) runAgg(ctx *evalCtx, n *planner.AggNode) ([]row, error) {
 	var order []string
 
 	for _, r := range input {
-		db.tuplesProcessed++
+		ctx.st.tuplesProcessed++
 		keyVals := make([]sqltypes.Value, len(n.GroupBy))
 		var sb strings.Builder
 		for i, g := range n.GroupBy {
@@ -857,7 +866,7 @@ func (db *DB) runSort(ctx *evalCtx, n *planner.SortNode) ([]row, error) {
 			ks[j] = v
 		}
 		items[i] = keyed{r: r, keys: ks}
-		db.operatorEvals++
+		ctx.st.operatorEvals++
 	}
 	sort.SliceStable(items, func(a, b int) bool {
 		for j, o := range n.OrderBy {

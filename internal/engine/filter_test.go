@@ -130,7 +130,7 @@ func TestCompiledFilterMatchesInterpreter(t *testing.T) {
 func checkPredOnAllTuples(t *testing.T, db *DB, filter sqlparser.Expr, binding string, ctx *evalCtx, fast compiledExpr) {
 	t.Helper()
 	checked := 0
-	db.heaps["ft"].Scan(func(_ btree.RID, tup sqltypes.Tuple) bool {
+	db.heaps["ft"].Scan(nil, func(_ btree.RID, tup sqltypes.Tuple) bool {
 		r := newRow()
 		r.vals[binding] = tup
 

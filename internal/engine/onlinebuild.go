@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/catalog"
+	"repro/internal/fault"
+	"repro/internal/sqltypes"
+)
+
+// IndexBuildSpec names the index an online build is to produce.
+type IndexBuildSpec struct {
+	Name    string
+	Table   string
+	Columns []string
+	Unique  bool
+	Local   bool
+}
+
+// OnlineIndexBuild is the engine half of a non-blocking index build. The
+// protocol, in caller-lock order:
+//
+//  1. StartLogging + Snapshot under a session *reader* lock — the reader
+//     lock excludes all writers, so the change log attaches empty and the
+//     heap scan sees a write-free snapshot.
+//  2. Build with no lock at all: bulk-build the B+Tree from the snapshot
+//     while foreground traffic proceeds; its writes land in the change log.
+//  3. Catchup with no lock: replay logged writes in batches toward the
+//     last_sync watermark until the lag is small.
+//  4. Publish under the session *exclusive* lock: drain the remaining tail
+//     of the log (writers are excluded, so it empties), then atomically
+//     register catalog entry + trees. Readers either ran before the
+//     exclusive lock (no index) or after (complete index) — never between.
+//
+// Abort (under the exclusive lock) detaches the log and discards the trees;
+// nothing was published, so nothing needs rolling back.
+type OnlineIndexBuild struct {
+	db        *DB
+	spec      IndexBuildSpec
+	table     *catalog.Table
+	positions []int
+	partPos   int
+	nTrees    int
+	log       *ChangeLog
+	entries   [][]btree.Entry
+	trees     []*btree.Tree
+	keyBytes  int64
+	// lastSync is the LSN watermark: every change-log entry with LSN <=
+	// lastSync has been replayed into the offline trees.
+	lastSync    uint64
+	catchupRows int64
+	published   bool
+}
+
+// NewOnlineIndexBuild validates the spec against the catalog without
+// touching it: the catalog learns about the index only at Publish.
+func (db *DB) NewOnlineIndexBuild(spec IndexBuildSpec) (*OnlineIndexBuild, error) {
+	spec.Name = strings.ToLower(spec.Name)
+	t := db.cat.Table(spec.Table)
+	if t == nil {
+		return nil, fmt.Errorf("engine: unknown table %q", spec.Table)
+	}
+	if spec.Local && !t.IsPartitioned() {
+		return nil, fmt.Errorf("engine: LOCAL index requires a partitioned table, %q is not", t.Name)
+	}
+	if db.cat.Index(spec.Name) != nil {
+		return nil, fmt.Errorf("engine: index %q already exists", spec.Name)
+	}
+	lower := make([]string, len(spec.Columns))
+	positions := make([]int, len(spec.Columns))
+	for i, c := range spec.Columns {
+		lower[i] = strings.ToLower(c)
+		col := t.Column(lower[i])
+		if col == nil {
+			return nil, fmt.Errorf("engine: unknown column %s.%s", t.Name, c)
+		}
+		positions[i] = col.Pos
+	}
+	spec.Columns = lower
+	nTrees := 1
+	partPos := -1
+	if spec.Local {
+		nTrees = t.Partitions
+		partPos = t.Column(t.PartitionBy).Pos
+	}
+	return &OnlineIndexBuild{
+		db:        db,
+		spec:      spec,
+		table:     t,
+		positions: positions,
+		partPos:   partPos,
+		nTrees:    nTrees,
+	}, nil
+}
+
+// StartLogging attaches a fresh change log to the database. The caller must
+// hold the session reader lock (excluding writers) and keep holding it
+// through Snapshot, so no write can slip between attach and scan.
+func (b *OnlineIndexBuild) StartLogging() error {
+	if b.db.changeLog != nil {
+		return fmt.Errorf("engine: another online index build is already logging")
+	}
+	b.log = NewChangeLog()
+	b.db.SetChangeLog(b.log)
+	return nil
+}
+
+// Snapshot scans the heap into per-tree entry sets, exactly like the
+// stop-the-world CREATE INDEX path. Must run under the same reader lock as
+// StartLogging. Injected faults surfacing as panics from the scan are
+// recovered into the returned error.
+func (b *OnlineIndexBuild) Snapshot() (err error) {
+	defer b.db.recoverToError("OnlineIndexBuild.Snapshot", nil, &err)
+	heap := b.db.heaps[b.table.Name]
+	b.entries = make([][]btree.Entry, b.nTrees)
+	heap.Scan(nil, func(rid btree.RID, tup sqltypes.Tuple) bool {
+		key := make(sqltypes.Key, len(b.positions))
+		for i, p := range b.positions {
+			key[i] = tup[p]
+			b.keyBytes += int64(tup[p].EncodedSize())
+		}
+		ti := 0
+		if b.spec.Local {
+			ti = partitionOf(tup[b.partPos], b.table.Partitions)
+		}
+		b.entries[ti] = append(b.entries[ti], btree.Entry{Key: key, RID: rid})
+		return true
+	})
+	return nil
+}
+
+// Build bulk-builds the offline trees from the snapshot. Needs no lock: it
+// only touches build-private state.
+func (b *OnlineIndexBuild) Build() (err error) {
+	defer b.db.recoverToError("OnlineIndexBuild.Build", nil, &err)
+	b.trees = make([]*btree.Tree, b.nTrees)
+	for i := range b.trees {
+		b.trees[i] = btree.BulkBuild(b.entries[i], b.db.order)
+		b.trees[i].SetFaultInjector(b.db.faults)
+	}
+	b.entries = nil
+	return nil
+}
+
+// treeForTuple picks the offline tree a tuple's entry belongs to.
+func (b *OnlineIndexBuild) treeForTuple(tup sqltypes.Tuple) *btree.Tree {
+	if b.spec.Local {
+		return b.trees[partitionOf(tup[b.partPos], b.table.Partitions)]
+	}
+	return b.trees[0]
+}
+
+func (b *OnlineIndexBuild) keyOf(tup sqltypes.Tuple) sqltypes.Key {
+	key := make(sqltypes.Key, len(b.positions))
+	for i, p := range b.positions {
+		key[i] = tup[p]
+	}
+	return key
+}
+
+// replay applies one change-log entry to the offline trees and advances the
+// last_sync watermark.
+func (b *OnlineIndexBuild) replay(e ChangeEntry) {
+	b.lastSync = e.LSN
+	if e.Table != b.table.Name {
+		return // other table's write: watermark advances, trees untouched
+	}
+	b.catchupRows++
+	switch e.Op {
+	case ChangeInsert:
+		key := b.keyOf(e.New)
+		b.treeForTuple(e.New).Insert(key, e.RID)
+		for _, v := range key {
+			b.keyBytes += int64(v.EncodedSize())
+		}
+	case ChangeDelete:
+		key := b.keyOf(e.Old)
+		if b.treeForTuple(e.Old).Delete(key, e.RID) {
+			for _, v := range key {
+				b.keyBytes -= int64(v.EncodedSize())
+			}
+		}
+	case ChangeUpdate:
+		oldKey, newKey := b.keyOf(e.Old), b.keyOf(e.New)
+		oldTree, newTree := b.treeForTuple(e.Old), b.treeForTuple(e.New)
+		if oldTree == newTree && sqltypes.CompareKeys(oldKey, newKey) == 0 {
+			return // key columns unchanged: entry already correct
+		}
+		if oldTree.Delete(oldKey, e.RID) {
+			for _, v := range oldKey {
+				b.keyBytes -= int64(v.EncodedSize())
+			}
+		}
+		newTree.Insert(newKey, e.RID)
+		for _, v := range newKey {
+			b.keyBytes += int64(v.EncodedSize())
+		}
+	}
+}
+
+// Catchup replays up to max logged writes past the watermark (all of them
+// when max <= 0), without any session lock: the log is internally locked,
+// and the offline trees are build-private. Returns how many entries were
+// applied and how many remain. The fault site SiteBuildCatchup fires once
+// per call, modeling a crash mid-catchup.
+func (b *OnlineIndexBuild) Catchup(max int) (applied, remaining int, err error) {
+	defer b.db.recoverToError("OnlineIndexBuild.Catchup", nil, &err)
+	if b.db.faults != nil {
+		if ferr := b.db.faults.Check(fault.SiteBuildCatchup); ferr != nil {
+			return 0, b.Lag(), ferr
+		}
+	}
+	batch := b.log.Since(b.lastSync, max)
+	for _, e := range batch {
+		b.replay(e)
+	}
+	return len(batch), b.Lag(), nil
+}
+
+// Lag returns how many logged writes have not been replayed yet.
+func (b *OnlineIndexBuild) Lag() int {
+	return len(b.log.Since(b.lastSync, 0))
+}
+
+// LastSync returns the replay watermark (highest replayed LSN).
+func (b *OnlineIndexBuild) LastSync() uint64 { return b.lastSync }
+
+// CatchupRows returns how many logged writes of the target table were
+// replayed into the trees.
+func (b *OnlineIndexBuild) CatchupRows() int64 { return b.catchupRows }
+
+// Publish drains the change-log tail and atomically registers the index.
+// The caller must hold the session exclusive lock: with writers excluded
+// the final drain empties the log for good, and no reader can observe the
+// catalog between registration steps.
+func (b *OnlineIndexBuild) Publish() (err error) {
+	defer b.db.recoverToError("OnlineIndexBuild.Publish", nil, &err)
+	defer b.detach()
+	for _, e := range b.log.Since(b.lastSync, 0) {
+		b.replay(e)
+	}
+	meta := &catalog.IndexMeta{
+		Name:    b.spec.Name,
+		Table:   b.table.Name,
+		Columns: append([]string{}, b.spec.Columns...),
+		Unique:  b.spec.Unique,
+		Local:   b.spec.Local,
+	}
+	if err := b.db.cat.AddIndex(meta); err != nil {
+		return err
+	}
+	b.db.indexes[meta.Name] = b.trees
+	b.db.refreshIndexMeta(meta, b.trees, b.keyBytes)
+	b.db.monitorIndex(meta.Name, b.trees)
+	b.published = true
+	// A published build replaces exactly one CREATE INDEX statement; count
+	// it so online and stop-the-world runs keep identical statement totals
+	// (the determinism suite compares them byte-for-byte).
+	b.db.statsMu.Lock()
+	b.db.statements++
+	b.db.statsMu.Unlock()
+	if b.db.metrics != nil {
+		b.db.metrics.stmtTotal.Inc()
+	}
+	return nil
+}
+
+// Abort detaches the change log and discards the build. Must run under the
+// session exclusive lock (same reason as Publish: the log detach must not
+// race writers appending to it).
+func (b *OnlineIndexBuild) Abort() {
+	b.detach()
+	b.trees = nil
+	b.entries = nil
+}
+
+// Published reports whether Publish completed.
+func (b *OnlineIndexBuild) Published() bool { return b.published }
+
+func (b *OnlineIndexBuild) detach() {
+	if b.db.changeLog == b.log {
+		b.db.SetChangeLog(nil)
+	}
+}

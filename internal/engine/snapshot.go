@@ -58,7 +58,7 @@ func (db *DB) Save(w io.Writer) error {
 			st.Columns = append(st.Columns, snapColumn{Name: c.Name, Kind: c.Type})
 		}
 		heap := db.heaps[t.Name]
-		heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
+		heap.Scan(nil, func(rid btree.RID, tup sqltypes.Tuple) bool {
 			st.Tuples = append(st.Tuples, tup)
 			return true
 		})
@@ -108,7 +108,7 @@ func Load(r io.Reader) (*DB, error) {
 		}
 	}
 	for _, si := range snap.Indexes {
-		if err := db.createIndex(si.Name, si.Table, si.Columns, si.Unique, si.Local); err != nil {
+		if err := db.createIndex(&stmtState{}, si.Name, si.Table, si.Columns, si.Unique, si.Local); err != nil {
 			return nil, fmt.Errorf("engine: restore index %s: %w", si.Name, err)
 		}
 	}

@@ -11,13 +11,13 @@ import (
 )
 
 // execInsert appends tuples and maintains every real index instantly.
-func (db *DB) execInsert(s *sqlparser.InsertStmt) (*Result, error) {
+func (db *DB) execInsert(st *stmtState, s *sqlparser.InsertStmt) (*Result, error) {
 	t := db.cat.Table(s.Table)
 	if t == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
 	}
 	heap := db.heaps[t.Name]
-	ctx := &evalCtx{db: db, cols: make(colIndex)}
+	ctx := &evalCtx{db: db, st: st, cols: make(colIndex)}
 	empty := newRow()
 
 	// Column mapping: explicit list or positional.
@@ -54,16 +54,19 @@ func (db *DB) execInsert(s *sqlparser.InsertStmt) (*Result, error) {
 			}
 			tup[positions[i]] = v
 		}
-		rid := heap.Insert(tup)
-		db.tuplesProcessed++
+		rid := heap.Insert(tup, &st.io)
+		st.tuplesProcessed++
 		for _, meta := range indexes {
-			db.indexInsert(meta, t, tup, rid)
+			db.indexInsert(st, meta, t, tup, rid)
+		}
+		if db.changeLog != nil {
+			db.changeLog.Append(ChangeEntry{Table: t.Name, Op: ChangeInsert, RID: rid, New: tup})
 		}
 		affected++
 	}
 	t.NumRows += affected
 	db.cat.BumpGeneration()
-	db.operatorEvals += ctx.ops
+	st.operatorEvals += ctx.ops
 	return &Result{Stats: ExecStats{RowsAffected: affected}}, nil
 }
 
@@ -82,7 +85,7 @@ func (db *DB) treeFor(meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.Tu
 }
 
 // indexInsert adds one entry to an index, charging descent and write IO.
-func (db *DB) indexInsert(meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.Tuple, rid btree.RID) {
+func (db *DB) indexInsert(st *stmtState, meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.Tuple, rid btree.RID) {
 	tree := db.treeFor(meta, t, tup)
 	if tree == nil {
 		return
@@ -90,9 +93,9 @@ func (db *DB) indexInsert(meta *catalog.IndexMeta, t *catalog.Table, tup sqltype
 	key := db.buildKey(meta, t, tup)
 	splitsBefore := tree.Splits()
 	tree.Insert(key, rid)
-	db.indexDescents += int64(tree.Height())
-	db.indexTuplesRW++
-	db.io.IndexPagesWritten += 1 + (tree.Splits() - splitsBefore)
+	st.indexDescents += int64(tree.Height())
+	st.indexTuplesRW++
+	st.io.IndexPagesWritten += 1 + (tree.Splits() - splitsBefore)
 	meta.NumTuples = indexLen(db.indexes[meta.Name])
 	meta.NumPages = tree.NumPages()
 	meta.Height = tree.Height()
@@ -104,16 +107,16 @@ func (db *DB) indexInsert(meta *catalog.IndexMeta, t *catalog.Table, tup sqltype
 }
 
 // indexDelete removes one entry, charging descent and write IO.
-func (db *DB) indexDelete(meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.Tuple, rid btree.RID) {
+func (db *DB) indexDelete(st *stmtState, meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.Tuple, rid btree.RID) {
 	tree := db.treeFor(meta, t, tup)
 	if tree == nil {
 		return
 	}
 	key := db.buildKey(meta, t, tup)
 	if tree.Delete(key, rid) {
-		db.indexDescents += int64(tree.Height())
-		db.indexTuplesRW++
-		db.io.IndexPagesWritten++
+		st.indexDescents += int64(tree.Height())
+		st.indexTuplesRW++
+		st.io.IndexPagesWritten++
 		meta.NumTuples = indexLen(db.indexes[meta.Name])
 	}
 }
@@ -128,7 +131,7 @@ func (db *DB) buildKey(meta *catalog.IndexMeta, t *catalog.Table, tup sqltypes.T
 
 // targetRows locates the rows an UPDATE/DELETE affects, using the planner's
 // access path (indexes included).
-func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sqltypes.Tuple, error) {
+func (db *DB) targetRows(st *stmtState, table string, where sqlparser.Expr) ([]btree.RID, []sqltypes.Tuple, error) {
 	t := db.cat.Table(table)
 	if t == nil {
 		return nil, nil, fmt.Errorf("engine: unknown table %q", table)
@@ -157,7 +160,7 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 		break
 	}
 
-	ctx := &evalCtx{db: db, cols: make(colIndex)}
+	ctx := &evalCtx{db: db, st: st, cols: make(colIndex)}
 	var rids []btree.RID
 	var tups []sqltypes.Tuple
 
@@ -172,8 +175,8 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 			fast = compileExpr(sc.Filter, sc.Binding, ctx.cols[sc.Binding])
 		}
 		var scanErr error
-		heap.Scan(func(rid btree.RID, tup sqltypes.Tuple) bool {
-			db.tuplesProcessed++
+		heap.Scan(&st.io, func(rid btree.RID, tup sqltypes.Tuple) bool {
+			st.tuplesProcessed++
 			if fast != nil {
 				ok, err := fast(tup, &ctx.ops)
 				if err != nil {
@@ -214,7 +217,7 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 		if len(trees) == 0 {
 			return nil, nil, fmt.Errorf("engine: index %q has no tree", sc.Index.Name)
 		}
-		db.indexUsage[sc.Index.Name]++
+		db.bumpIndexUsage(sc.Index.Name)
 		if db.metrics != nil {
 			db.metrics.indexProbes.With(sc.Index.Name).Inc()
 		}
@@ -231,14 +234,14 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 		var scanErr error
 		for _, pb := range bounds {
 			for _, tree := range db.probeTrees(sc.Index, eqKey, trees) {
-				db.indexDescents += int64(tree.Height())
+				st.indexDescents += int64(tree.Height())
 				pages := tree.ScanRange(pb.lo, pb.hi, pb.loInc, pb.hiInc, func(e btree.Entry) bool {
-					db.indexTuplesRW++
-					tup := heap.Fetch(e.RID)
+					st.indexTuplesRW++
+					tup := heap.Fetch(e.RID, &st.io)
 					if tup == nil {
 						return true
 					}
-					db.tuplesProcessed++
+					st.tuplesProcessed++
 					if fast != nil {
 						ok, err := fast(tup, &ctx.ops)
 						if err != nil {
@@ -268,7 +271,7 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 					tups = append(tups, tup)
 					return true
 				})
-				db.io.IndexPagesRead += pages
+				st.io.IndexPagesRead += pages
 				if scanErr != nil {
 					return nil, nil, scanErr
 				}
@@ -277,23 +280,23 @@ func (db *DB) targetRows(table string, where sqlparser.Expr) ([]btree.RID, []sql
 	default:
 		return nil, nil, fmt.Errorf("engine: unexpected write-target scan %T", scan)
 	}
-	db.operatorEvals += ctx.ops
+	st.operatorEvals += ctx.ops
 	return rids, tups, nil
 }
 
 // execUpdate rewrites matching tuples; indexes whose key columns changed are
 // maintained instantly (delete old entry + insert new).
-func (db *DB) execUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
+func (db *DB) execUpdate(st *stmtState, s *sqlparser.UpdateStmt) (*Result, error) {
 	t := db.cat.Table(s.Table)
 	if t == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
 	}
-	rids, tups, err := db.targetRows(s.Table, s.Where)
+	rids, tups, err := db.targetRows(st, s.Table, s.Where)
 	if err != nil {
 		return nil, err
 	}
 	heap := db.heaps[t.Name]
-	ctx := &evalCtx{db: db, cols: make(colIndex)}
+	ctx := &evalCtx{db: db, st: st, cols: make(colIndex)}
 	ctx.cols.addBinding(t.Name, t.ColumnNames())
 
 	// Which indexes have a key column among the SET targets?
@@ -333,17 +336,20 @@ func (db *DB) execUpdate(s *sqlparser.UpdateStmt) (*Result, error) {
 			}
 			newTup[col.Pos] = v
 		}
-		if err := heap.Update(rid, newTup); err != nil {
+		if err := heap.Update(rid, newTup, &st.io); err != nil {
 			return nil, err
 		}
-		db.tuplesProcessed++
+		st.tuplesProcessed++
 		for _, meta := range affectedIdx {
-			db.indexDelete(meta, t, old, rid)
-			db.indexInsert(meta, t, newTup, rid)
+			db.indexDelete(st, meta, t, old, rid)
+			db.indexInsert(st, meta, t, newTup, rid)
+		}
+		if db.changeLog != nil {
+			db.changeLog.Append(ChangeEntry{Table: t.Name, Op: ChangeUpdate, RID: rid, Old: old, New: newTup})
 		}
 	}
 	db.cat.BumpGeneration()
-	db.operatorEvals += ctx.ops
+	st.operatorEvals += ctx.ops
 	return &Result{Stats: ExecStats{RowsAffected: int64(len(rids))}}, nil
 }
 
@@ -383,31 +389,32 @@ func qualifyColumns(e sqlparser.Expr, table string) {
 // cleanup for deletes is deferred (vacuum-style): stale entries are skipped
 // at scan time and removed here without charging maintenance IO to the
 // statement.
-func (db *DB) execDelete(s *sqlparser.DeleteStmt) (*Result, error) {
+func (db *DB) execDelete(st *stmtState, s *sqlparser.DeleteStmt) (*Result, error) {
 	t := db.cat.Table(s.Table)
 	if t == nil {
 		return nil, fmt.Errorf("engine: unknown table %q", s.Table)
 	}
-	rids, tups, err := db.targetRows(s.Table, s.Where)
+	rids, tups, err := db.targetRows(st, s.Table, s.Where)
 	if err != nil {
 		return nil, err
 	}
 	heap := db.heaps[t.Name]
 	for _, rid := range rids {
-		if err := heap.Delete(rid); err != nil {
+		if err := heap.Delete(rid, &st.io); err != nil {
 			return nil, err
 		}
 	}
-	// Deferred index cleanup: perform it without statement-visible cost.
-	savedIO := db.io
-	savedDescents, savedRW := db.indexDescents, db.indexTuplesRW
+	// Deferred index cleanup: charge it to a scratch state the statement's
+	// ExecStats never sees.
+	scratch := &stmtState{}
 	for i, rid := range rids {
 		for _, meta := range db.cat.TableIndexes(t.Name, false) {
-			db.indexDelete(meta, t, tups[i], rid)
+			db.indexDelete(scratch, meta, t, tups[i], rid)
+		}
+		if db.changeLog != nil {
+			db.changeLog.Append(ChangeEntry{Table: t.Name, Op: ChangeDelete, RID: rid, Old: tups[i]})
 		}
 	}
-	db.io = savedIO
-	db.indexDescents, db.indexTuplesRW = savedDescents, savedRW
 
 	t.NumRows -= int64(len(rids))
 	if t.NumRows < 0 {

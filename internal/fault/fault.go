@@ -63,6 +63,9 @@ const (
 	SiteBtreeInsert Site = "btree.insert"
 	SiteBtreeSplit  Site = "btree.split"
 	SiteBtreeScan   Site = "btree.scan"
+	// SiteBuildCatchup fires once per change-log replay batch of an online
+	// index build — the window where a crash must roll the build back.
+	SiteBuildCatchup Site = "session.build_catchup"
 )
 
 // Rule is one entry in a fault schedule.

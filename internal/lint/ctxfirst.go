@@ -12,12 +12,16 @@ import (
 // and the deadline/cancellation contract only holds if the round's context
 // reaches each layer. Entry points (cmd/*, examples, experiments) sit above
 // the path and legitimately mint context.Background.
+// session is on the path too: online index builds thread the round's
+// context through snapshot/catchup loops, and a minted Background there
+// would make a cancelled tuning round keep building.
 var ctxTargets = stringSet{
 	"autoindex": true,
 	"mcts":      true,
 	"diagnosis": true,
 	"candgen":   true,
 	"costmodel": true,
+	"session":   true,
 }
 
 // CtxFirst enforces the context-threading contract on the tune/apply path:

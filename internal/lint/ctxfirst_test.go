@@ -11,5 +11,6 @@ func TestCtxFirst(t *testing.T) {
 	analysistest.Run(t, lint.CtxFirst,
 		"internal/lint/testdata/src/ctxfirst/autoindex",
 		"internal/lint/testdata/src/ctxfirst/otherpkg",
+		"internal/lint/testdata/src/ctxfirst/session",
 	)
 }

@@ -11,22 +11,23 @@ import (
 
 // NilSafeObs enforces the detachable-instrumentation contract from
 // internal/obs: every exported pointer-receiver method in the obs package,
-// and every method implementing the btree.Monitor hook surface, must be a
-// no-op on a nil receiver. Accepted proofs: the body never uses the
-// receiver; the first statement is `if recv == nil { … }`; the body is the
-// single statement `return recv == nil` / `return recv != nil`; or the body
-// is a single delegation to another method on the same receiver (which the
-// analyzer checks in turn).
+// and every method implementing a monitor hook surface (btree.Monitor,
+// session.BuildMonitor), must be a no-op on a nil receiver. Accepted
+// proofs: the body never uses the receiver; the first statement is
+// `if recv == nil { … }`; the body is the single statement
+// `return recv == nil` / `return recv != nil`; or the body is a single
+// delegation to another method on the same receiver (which the analyzer
+// checks in turn).
 var NilSafeObs = &analysis.Analyzer{
 	Name: "nilsafeobs",
-	Doc:  "exported obs methods and btree.Monitor implementations must start with a nil-receiver guard",
+	Doc:  "exported obs methods and monitor-hook implementations (btree.Monitor, session.BuildMonitor) must start with a nil-receiver guard",
 	Run:  runNilSafeObs,
 }
 
 func runNilSafeObs(pass *analysis.Pass) (any, error) {
 	isObs := analysis.PathBase(pass.Pkg.Path()) == "obs"
-	monitor := monitorInterface(pass.Pkg)
-	if !isObs && monitor == nil {
+	monitors := monitorInterfaces(pass.Pkg)
+	if !isObs && len(monitors) == 0 {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
@@ -48,16 +49,20 @@ func runNilSafeObs(pass *analysis.Pass) (any, error) {
 			if !ok {
 				continue
 			}
-			switch {
-			case isObs && fd.Name.IsExported():
+			if isObs && fd.Name.IsExported() {
 				if !nilGuarded(pass, fd) {
 					pass.Reportf(fd.Pos(), "exported method %s must begin with a nil-receiver guard: a detached (nil) %s must be a no-op",
 						fd.Name.Name, types.TypeString(ptr, relativeTo(pass.Pkg)))
 				}
-			case monitor != nil && implementsMethod(ptr, monitor, fd.Name.Name):
-				if !nilGuarded(pass, fd) {
-					pass.Reportf(fd.Pos(), "method %s implements btree.Monitor and must begin with a nil-receiver guard",
-						fd.Name.Name)
+				continue
+			}
+			for _, mon := range monitors {
+				if implementsMethod(ptr, mon.iface, fd.Name.Name) {
+					if !nilGuarded(pass, fd) {
+						pass.Reportf(fd.Pos(), "method %s implements %s and must begin with a nil-receiver guard",
+							fd.Name.Name, mon.label)
+					}
+					break
 				}
 			}
 		}
@@ -65,21 +70,44 @@ func runNilSafeObs(pass *analysis.Pass) (any, error) {
 	return nil, nil
 }
 
-// monitorInterface finds the btree.Monitor interface among the package's
-// imports, or nil if btree is not imported.
-func monitorInterface(pkg *types.Package) *types.Interface {
-	for _, imp := range pkg.Imports() {
-		if !strings.HasSuffix(imp.Path(), "internal/btree") {
-			continue
+// monitorIface is one detachable hook surface the analyzer knows about.
+type monitorIface struct {
+	iface *types.Interface
+	label string
+}
+
+// monitorSurfaces maps an import-path suffix to the hook interface it
+// exports; implementations of these interfaces anywhere in the repo must be
+// nil-receiver-safe so callers never need nil checks.
+var monitorSurfaces = []struct {
+	pathSuffix string
+	name       string
+	label      string
+}{
+	{"internal/btree", "Monitor", "btree.Monitor"},
+	{"internal/session", "BuildMonitor", "session.BuildMonitor"},
+}
+
+// monitorInterfaces finds the known monitor hook interfaces among the
+// package's imports (deterministic order: monitorSurfaces order).
+func monitorInterfaces(pkg *types.Package) []monitorIface {
+	var out []monitorIface
+	for _, s := range monitorSurfaces {
+		for _, imp := range pkg.Imports() {
+			if !strings.HasSuffix(imp.Path(), s.pathSuffix) {
+				continue
+			}
+			obj := imp.Scope().Lookup(s.name)
+			if obj == nil {
+				break
+			}
+			if iface, ok := obj.Type().Underlying().(*types.Interface); ok {
+				out = append(out, monitorIface{iface: iface, label: s.label})
+			}
+			break
 		}
-		obj := imp.Scope().Lookup("Monitor")
-		if obj == nil {
-			return nil
-		}
-		iface, _ := obj.Type().Underlying().(*types.Interface)
-		return iface
 	}
-	return nil
+	return out
 }
 
 // implementsMethod reports whether ptr implements iface and name is one of

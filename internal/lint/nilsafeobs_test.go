@@ -11,5 +11,6 @@ func TestNilSafeObs(t *testing.T) {
 	analysistest.Run(t, lint.NilSafeObs,
 		"internal/lint/testdata/src/nilsafeobs/obs",
 		"internal/lint/testdata/src/nilsafeobs/engineimpl",
+		"internal/lint/testdata/src/nilsafeobs/sessionimpl",
 	)
 }

@@ -19,6 +19,9 @@ var randTargets = stringSet{
 	"baseline":  true,
 	"autoindex": true,
 	"loadgen":   true,
+	// session draws build-retry jitter; an unseeded source there would make
+	// retry schedules (and thus chaos-test outcomes) irreproducible.
+	"session": true,
 }
 
 // timeNowBanned are the pure-estimation packages where wall-clock time must

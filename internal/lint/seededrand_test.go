@@ -11,5 +11,6 @@ func TestSeededRand(t *testing.T) {
 	analysistest.Run(t, lint.SeededRand,
 		"internal/lint/testdata/src/seededrand/mcts",
 		"internal/lint/testdata/src/seededrand/baseline",
+		"internal/lint/testdata/src/seededrand/session",
 	)
 }

@@ -1,0 +1,32 @@
+// Package session is a ctxfirst fixture: the concurrent serving layer is on
+// the tune/apply path (online builds thread the round's context), so both
+// rules apply here.
+package session
+
+import "context"
+
+// Flagged: exported build entry with the context buried.
+func BuildIndexOnline(name string, ctx context.Context) error { // want "context.Context must be the first parameter"
+	return catchup(ctx)
+}
+
+// Allowed: exported, context first.
+func BuildIndexOnlineMonitored(ctx context.Context, name string) error {
+	return catchup(ctx)
+}
+
+// Rule B: a build loop must not detach from the round's cancellation.
+func buildOnce(ctx context.Context) error {
+	return catchup(context.Background()) // want "discards the threaded context"
+}
+
+// Allowed: no context in scope; Background is a legitimate root for a
+// fire-and-forget maintenance goroutine.
+func Maintenance() error {
+	return catchup(context.Background())
+}
+
+func catchup(ctx context.Context) error {
+	_ = ctx
+	return nil
+}

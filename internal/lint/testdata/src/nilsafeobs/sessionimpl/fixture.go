@@ -1,0 +1,34 @@
+// Package sessionimpl is a nilsafeobs fixture for the session.BuildMonitor
+// hook surface: any type whose pointer implements it must guard the hook
+// methods, whatever package it lives in.
+package sessionimpl
+
+import "repro/internal/session"
+
+type spanMonitor struct {
+	events int
+}
+
+var _ session.BuildMonitor = (*spanMonitor)(nil)
+
+// Flagged: a BuildMonitor method that dereferences without a guard.
+func (m *spanMonitor) BuildStateChanged(index string, state session.BuildState) { // want "implements session.BuildMonitor"
+	m.events++
+}
+
+type guardedMonitor struct {
+	last session.BuildState
+}
+
+var _ session.BuildMonitor = (*guardedMonitor)(nil)
+
+// Allowed: guarded.
+func (m *guardedMonitor) BuildStateChanged(index string, state session.BuildState) {
+	if m == nil {
+		return
+	}
+	m.last = state
+}
+
+// Allowed: not part of the hook surface.
+func (m *guardedMonitor) reset() { m.last = 0 }

@@ -1,0 +1,31 @@
+// Package session is a seededrand fixture: build-retry jitter must come
+// from an explicitly seeded source or chaos-test retry schedules are not
+// reproducible. (session is not in the time.Now-banned set: it measures
+// real wall-clock durations for latency accounting.)
+package session
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Flagged: global source for retry jitter.
+func jitterGlobal() int {
+	return 1 + rand.Intn(5) // want "global math/rand source"
+}
+
+// Allowed: jitter from a seeded source threaded via Options.
+func jitterSeeded(r *rand.Rand) int {
+	return 1 + r.Intn(5)
+}
+
+// Flagged: time-derived seed smuggles the wall clock into the schedule.
+func newJitterSource() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "seeding rand from time.Now"
+}
+
+// Allowed: wall-clock measurement for latency accounting (session is not a
+// pure-estimation package).
+func measure(start time.Time) time.Duration {
+	return time.Since(start)
+}

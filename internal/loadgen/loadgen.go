@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/session"
 )
 
 // Executor runs one statement. Implementations must be safe for concurrent
@@ -37,24 +38,37 @@ type Executor interface {
 	Exec(sql string) error
 }
 
-// DBExecutor adapts the single-session engine to the concurrent worker
-// pool by serializing statements behind a mutex. Workers therefore queue on
-// the engine itself — which is the point: until a concurrent serving layer
-// lands, the generator measures the single-session engine as deployed, and
-// the lock wait is real response time.
+// DBExecutor adapts the engine to the concurrent worker pool through the
+// session layer: SELECT/EXPLAIN statements from different workers run in
+// parallel under the shared reader lock while writes serialize behind the
+// exclusive lock. (An earlier revision serialized every statement behind a
+// single mutex; the session layer replaced it, so read-heavy load now
+// measures genuine parallelism and lock waits on writes remain real
+// response time.)
 type DBExecutor struct {
-	mu sync.Mutex
-	db *engine.DB
+	sessions *session.Manager
 }
 
-// NewDBExecutor wraps a database for use as a load-generator target.
-func NewDBExecutor(db *engine.DB) *DBExecutor { return &DBExecutor{db: db} }
+// NewDBExecutor wraps a database for use as a load-generator target,
+// creating a private session manager over it.
+func NewDBExecutor(db *engine.DB) *DBExecutor {
+	return &DBExecutor{sessions: session.New(db, session.Options{})}
+}
 
-// Exec runs one statement under the session lock.
+// NewSessionExecutor targets an existing session manager — the form the
+// benchrunner uses so foreground traffic and online index builds contend on
+// the same locks.
+func NewSessionExecutor(sm *session.Manager) *DBExecutor {
+	return &DBExecutor{sessions: sm}
+}
+
+// Sessions exposes the executor's session manager (concurrency assertions,
+// shared tuning).
+func (e *DBExecutor) Sessions() *session.Manager { return e.sessions }
+
+// Exec runs one statement under the appropriate session lock.
 func (e *DBExecutor) Exec(sql string) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	_, err := e.db.Exec(sql)
+	_, err := e.sessions.Exec(sql)
 	return err
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/fault"
 	"repro/internal/obs"
 )
 
@@ -250,5 +251,56 @@ func TestPercentileNearestRank(t *testing.T) {
 	}
 	if got := Percentile(nil, 0.5); got != 0 {
 		t.Fatalf("empty percentile = %v, want 0", got)
+	}
+}
+
+// TestEightWorkersReadP99NotSerial is the concurrency regression guard: a
+// 5ms page-read latency fault makes every SELECT's service time ≥ 5ms, so
+// 48 simultaneously-scheduled reads executed serially would push the tail
+// past 48 × 5ms = 240ms. With the session layer letting 8 workers read in
+// parallel the makespan is ~8× smaller; the test fails if response p99
+// degenerates to within 2× of the serial floor (i.e. the executor has
+// regressed to one-statement-at-a-time).
+func TestEightWorkersReadP99NotSerial(t *testing.T) {
+	const (
+		requests = 48
+		perStmt  = 5 * time.Millisecond
+	)
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE t (id BIGINT, k BIGINT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := db.Exec(fmt.Sprintf("INSERT INTO t (id, k) VALUES (%d, %d)", i, i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.SetFaultInjector(fault.New(1, fault.Rule{
+		Site:        fault.SitePageRead,
+		Kind:        fault.KindLatency,
+		Probability: 1,
+		Latency:     perStmt,
+	}))
+
+	exec := NewDBExecutor(db)
+	res, err := Run(context.Background(), exec, Config{
+		Seed:        5,
+		QPS:         1e6, // all arrivals effectively simultaneous
+		MaxRequests: requests,
+		Workers:     8,
+		Statements:  []string{"SELECT COUNT(*) FROM t WHERE k = 1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != requests || res.Errors != 0 {
+		t.Fatalf("requests/errors = %d/%d, want %d/0", res.Requests, res.Errors, requests)
+	}
+	serialFloor := time.Duration(requests) * perStmt
+	if res.P99 >= serialFloor/2 {
+		t.Fatalf("p99 = %v with 8 workers, ≥ half the serial floor %v: reads are serializing", res.P99, serialFloor)
+	}
+	if got := exec.Sessions().MaxConcurrentReaders(); got < 2 {
+		t.Fatalf("max concurrent readers = %d, want ≥ 2: no reader overlap observed", got)
 	}
 }

@@ -1,0 +1,37 @@
+package session
+
+import "repro/internal/obs"
+
+// sessionMetrics holds the manager's pre-resolved instrument handles.
+type sessionMetrics struct {
+	reg           *obs.Registry
+	activeReaders *obs.Gauge
+	maxReaders    *obs.Gauge
+	queuedWrites  *obs.Gauge
+	catchupLag    *obs.Gauge
+	reads         *obs.Counter
+	writes        *obs.Counter
+	builds        *obs.Counter
+	buildFailures *obs.Counter
+	buildRetries  *obs.Counter
+	catchupRows   *obs.Counter
+}
+
+func newSessionMetrics(reg *obs.Registry) *sessionMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &sessionMetrics{
+		reg:           reg,
+		activeReaders: reg.Gauge("session_active_readers", "Reader sessions currently executing"),
+		maxReaders:    reg.Gauge("session_max_concurrent_readers", "High-water mark of simultaneous readers"),
+		queuedWrites:  reg.Gauge("session_queued_writes", "Writes waiting on the exclusive lock"),
+		catchupLag:    reg.Gauge("session_catchup_lag", "Change-log entries an online build has not replayed yet"),
+		reads:         reg.Counter("session_reads_total", "Statements executed under the reader lock"),
+		writes:        reg.Counter("session_writes_total", "Statements executed under the exclusive lock"),
+		builds:        reg.Counter("session_builds_total", "Online index builds started"),
+		buildFailures: reg.Counter("session_build_failures_total", "Online index builds that failed permanently"),
+		buildRetries:  reg.Counter("session_build_retries_total", "Online index build attempts retried after a temporary error"),
+		catchupRows:   reg.Counter("session_catchup_rows_total", "Change-log rows replayed by online builds"),
+	}
+}

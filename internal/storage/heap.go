@@ -17,7 +17,9 @@ import (
 const TuplesPerPage = 64
 
 // IOCounter accumulates page-level IO for one statement or one workload
-// segment. The executor resets it per statement to derive per-query costs.
+// segment. The executor owns one per statement to derive per-query costs;
+// heap methods take it as an explicit parameter (nil to discard the
+// charges) so concurrent statements never share a counter.
 type IOCounter struct {
 	HeapPagesRead     int64
 	HeapPagesWritten  int64
@@ -50,16 +52,16 @@ type page struct {
 type Heap struct {
 	pages    []*page
 	numLive  int64
-	io       *IOCounter
 	lastPage int // page with free space, for O(1) append
 	// faults, when armed, can fail or delay page reads/writes. Nil (the
 	// default) costs one pointer check per page touch.
 	faults *fault.Injector
 }
 
-// NewHeap creates an empty heap charging IO to the given counter.
-func NewHeap(io *IOCounter) *Heap {
-	return &Heap{io: io}
+// NewHeap creates an empty heap. IO is charged to the counter each method
+// call passes in.
+func NewHeap() *Heap {
+	return &Heap{}
 }
 
 // SetFaultInjector arms (or with nil disarms) fault injection on this heap's
@@ -74,8 +76,9 @@ func (h *Heap) NumTuples() int64 { return h.numLive }
 // NumPages returns the heap page count.
 func (h *Heap) NumPages() int64 { return int64(len(h.pages)) }
 
-// Insert appends a tuple and returns its RID. Charges one page write.
-func (h *Heap) Insert(t sqltypes.Tuple) btree.RID {
+// Insert appends a tuple and returns its RID. Charges one page write to io
+// (nil discards the charge).
+func (h *Heap) Insert(t sqltypes.Tuple, io *IOCounter) btree.RID {
 	if h.faults != nil {
 		h.faults.MustCheck(fault.SitePageWrite)
 	}
@@ -87,17 +90,21 @@ func (h *Heap) Insert(t sqltypes.Tuple) btree.RID {
 	p.tuples = append(p.tuples, t)
 	p.live++
 	h.numLive++
-	h.io.HeapPagesWritten++
+	if io != nil {
+		io.HeapPagesWritten++
+	}
 	return btree.RID{Page: int32(h.lastPage), Slot: int32(len(p.tuples) - 1)}
 }
 
-// Fetch returns the tuple at rid, charging one page read. Returns nil for
-// deleted or out-of-range slots.
-func (h *Heap) Fetch(rid btree.RID) sqltypes.Tuple {
+// Fetch returns the tuple at rid, charging one page read to io. Returns nil
+// for deleted or out-of-range slots.
+func (h *Heap) Fetch(rid btree.RID, io *IOCounter) sqltypes.Tuple {
 	if h.faults != nil {
 		h.faults.MustCheck(fault.SitePageRead)
 	}
-	h.io.HeapPagesRead++
+	if io != nil {
+		io.HeapPagesRead++
+	}
 	if int(rid.Page) >= len(h.pages) {
 		return nil
 	}
@@ -110,14 +117,16 @@ func (h *Heap) Fetch(rid btree.RID) sqltypes.Tuple {
 
 // Update replaces the tuple at rid in place (heap-only update; index
 // maintenance is the engine's responsibility). Charges a read and a write.
-func (h *Heap) Update(rid btree.RID, t sqltypes.Tuple) error {
+func (h *Heap) Update(rid btree.RID, t sqltypes.Tuple, io *IOCounter) error {
 	if h.faults != nil {
 		if err := h.faults.Check(fault.SitePageWrite); err != nil {
 			return err
 		}
 	}
-	h.io.HeapPagesRead++
-	h.io.HeapPagesWritten++
+	if io != nil {
+		io.HeapPagesRead++
+		io.HeapPagesWritten++
+	}
 	if int(rid.Page) >= len(h.pages) || int(rid.Slot) >= len(h.pages[rid.Page].tuples) {
 		return fmt.Errorf("storage: update of invalid rid %v", rid)
 	}
@@ -129,13 +138,15 @@ func (h *Heap) Update(rid btree.RID, t sqltypes.Tuple) error {
 }
 
 // Delete tombstones the tuple at rid. Charges a write.
-func (h *Heap) Delete(rid btree.RID) error {
+func (h *Heap) Delete(rid btree.RID, io *IOCounter) error {
 	if h.faults != nil {
 		if err := h.faults.Check(fault.SitePageWrite); err != nil {
 			return err
 		}
 	}
-	h.io.HeapPagesWritten++
+	if io != nil {
+		io.HeapPagesWritten++
+	}
 	if int(rid.Page) >= len(h.pages) || int(rid.Slot) >= len(h.pages[rid.Page].tuples) {
 		return fmt.Errorf("storage: delete of invalid rid %v", rid)
 	}
@@ -151,12 +162,14 @@ func (h *Heap) Delete(rid btree.RID) error {
 
 // Scan visits every live tuple in heap order, charging one read per page.
 // The callback returns false to stop early.
-func (h *Heap) Scan(visit func(rid btree.RID, t sqltypes.Tuple) bool) {
+func (h *Heap) Scan(io *IOCounter, visit func(rid btree.RID, t sqltypes.Tuple) bool) {
 	for pi, p := range h.pages {
 		if h.faults != nil {
 			h.faults.MustCheck(fault.SitePageRead)
 		}
-		h.io.HeapPagesRead++
+		if io != nil {
+			io.HeapPagesRead++
+		}
 		for si, t := range p.tuples {
 			if t == nil {
 				continue
