@@ -4,6 +4,16 @@
 //
 //	go run ./cmd/autoindexlint ./...
 //
+// Flags:
+//
+//	-list        print the analyzers and their contracts, then exit
+//	-json        emit findings as a JSON array on stdout (for CI artifacts)
+//	-budget D    fail (exit 3) if the whole run exceeds duration D
+//
+// Exit codes: 0 clean, 1 findings, 2 load/run error (including a partially
+// failed package load — the suite never silently skips a matched package),
+// 3 budget exceeded.
+//
 // A finding can be suppressed — with justification — by a comment on the
 // same line as the finding or the line above it:
 //
@@ -11,22 +21,35 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/lint"
 	"repro/internal/lint/analysis"
 )
 
+// jsonFinding is the machine-readable shape of one diagnostic.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "print the analyzers and their contracts, then exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	budget := flag.Duration("budget", 0, "fail if the run exceeds this duration (0: unbounded)")
 	flag.Parse()
 
 	analyzers := lint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
 		}
 		return
 	}
@@ -39,20 +62,51 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	start := time.Now()
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
 		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		// Matching zero packages means the suite checked nothing; treat it
+		// as a configuration error rather than reporting a clean tree.
+		fatal(fmt.Errorf("patterns %v matched no packages", patterns))
 	}
 	diags, err := analysis.Run(pkgs, analyzers)
 	if err != nil {
 		fatal(err)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		findings := make([]jsonFinding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, jsonFinding{
+				Analyzer: d.Analyzer,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "autoindexlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "autoindexlint: run took %s, over the %s budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		os.Exit(3)
 	}
 }
 

@@ -3,7 +3,6 @@ package autoindex
 import (
 	"context"
 	"fmt"
-	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
@@ -95,11 +94,7 @@ func (m *Manager) applySpanned(ctx context.Context, rec *Recommendation, parent 
 			m.rollback(rep)
 			return rep, cerr
 		}
-		meta := m.db.Catalog().Index(name)
-		var snapshot *catalog.IndexMeta
-		if meta != nil {
-			snapshot = cloneIndexMeta(meta)
-		}
+		snapshot := m.lookupIndex(name)
 		if derr := m.retryTransient(func() error { return m.dropIndex(name) }); derr != nil {
 			m.rollback(rep)
 			return rep, fmt.Errorf("autoindex: drop %s: %w", name, derr)
@@ -112,7 +107,7 @@ func (m *Manager) applySpanned(ctx context.Context, rec *Recommendation, parent 
 			return rep, cerr
 		}
 		name := buildName(spec)
-		if m.db.Catalog().Index(name) != nil {
+		if m.lookupIndex(name) != nil {
 			continue // already exists (e.g. a concurrent manual CREATE INDEX)
 		}
 		if cerr := m.createIndex(ctx, span, name, spec, rep); cerr != nil {
@@ -150,25 +145,49 @@ func (m *Manager) createIndex(ctx context.Context, span *obs.Span, name string, 
 		bspan.End()
 		return err
 	}
-	local := ""
-	if spec.Local {
-		local = "LOCAL "
+	stmt := &sqlparser.CreateIndexStmt{
+		Name:    name,
+		Table:   spec.Table,
+		Columns: spec.Columns,
+		Unique:  spec.Unique,
+		Local:   spec.Local,
 	}
-	stmt := fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", local, name, spec.Table,
-		strings.Join(spec.Columns, ", "))
-	return m.retryTransient(func() error {
-		_, err := m.db.Exec(stmt)
-		return err
-	})
+	return m.retryTransient(func() error { return m.execStmt(stmt) })
 }
 
-// dropIndex removes an index, behind the exclusive session lock when one is
-// attached (a drop swaps catalog and tree state under running readers).
+// dropIndex removes an index behind the exclusive seam (a drop swaps
+// catalog and tree state under running readers).
 func (m *Manager) dropIndex(name string) error {
+	return m.exclusiveIfSessions(func() error { return m.db.DropIndex(name) })
+}
+
+// lookupIndex fetches a deep copy of an index's metadata under the reader
+// lock (nil when absent). Copying means the caller never holds a pointer
+// into the live catalog after the lock is released, so a concurrent drop or
+// publish cannot invalidate it.
+func (m *Manager) lookupIndex(name string) *catalog.IndexMeta {
+	var meta *catalog.IndexMeta
+	_ = m.readIfSessions(func() error {
+		if live := m.db.Catalog().Index(name); live != nil {
+			meta = cloneIndexMeta(live)
+		}
+		return nil
+	})
+	return meta
+}
+
+// execStmt routes one DDL statement through the session layer when attached
+// (counting it like any other session write), else through the exclusive
+// seam directly.
+func (m *Manager) execStmt(stmt sqlparser.Statement) error {
 	if m.sessions != nil {
-		return m.sessions.Exclusive(func(db *engine.DB) error { return db.DropIndex(name) })
+		_, err := m.sessions.ExecStmt(stmt)
+		return err
 	}
-	return m.db.DropIndex(name)
+	return m.exclusiveIfSessions(func() error {
+		_, err := m.db.ExecStmt(stmt)
+		return err
+	})
 }
 
 // rollback reverts the report's completed changes in reverse order of
@@ -204,23 +223,16 @@ func (m *Manager) rollback(rep *ApplyReport) {
 // so injected faults during the rebuild surface as errors, not panics; with
 // a session layer attached the statement routes through its exclusive lock.
 func (m *Manager) rebuildIndex(meta *catalog.IndexMeta) error {
-	if m.db.Catalog().Index(meta.Name) != nil {
+	if m.lookupIndex(meta.Name) != nil {
 		return nil
 	}
-	stmt := &sqlparser.CreateIndexStmt{
+	return m.execStmt(&sqlparser.CreateIndexStmt{
 		Name:    meta.Name,
 		Table:   meta.Table,
 		Columns: meta.Columns,
 		Unique:  meta.Unique,
 		Local:   meta.Local,
-	}
-	var err error
-	if m.sessions != nil {
-		_, err = m.sessions.ExecStmt(stmt)
-	} else {
-		_, err = m.db.ExecStmt(stmt)
-	}
-	return err
+	})
 }
 
 // retryTransient runs do, retrying up to applyRetries extra times while it

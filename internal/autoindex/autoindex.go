@@ -125,14 +125,16 @@ type Manager struct {
 // binary opts in); override per manager with Instrument.
 func New(db *engine.DB, opts Options) *Manager {
 	opts = opts.withDefaults()
+	//autoindexlint:ignore sessionlock construction precedes any concurrent session over db
 	est := costmodel.NewEstimator(db.Catalog())
 	est.Parallelism = opts.EstimatorParallelism
 	est.Instrument(obs.DefaultRegistry())
 	return &Manager{
-		db:               db,
-		opts:             opts,
-		store:            template.NewStore(opts.TemplateCapacity),
-		estimator:        est,
+		db:        db,
+		opts:      opts,
+		store:     template.NewStore(opts.TemplateCapacity),
+		estimator: est,
+		//autoindexlint:ignore sessionlock construction precedes any concurrent session over db
 		generator:        candgen.NewGenerator(db.Catalog()),
 		tracer:           obs.DefaultTracer(),
 		metrics:          newManagerMetrics(obs.DefaultRegistry()),
@@ -168,6 +170,17 @@ func (m *Manager) exclusiveIfSessions(fn func() error) error {
 	return m.sessions.Exclusive(func(*engine.DB) error { return fn() })
 }
 
+// readIfSessions runs fn under the session layer's shared reader lock when
+// one is attached, else directly. For read-only engine access: the reader
+// lock admits concurrent readers but excludes DDL and online publishes, so
+// catalog walks see a consistent snapshot.
+func (m *Manager) readIfSessions(fn func() error) error {
+	if m.sessions == nil {
+		return fn()
+	}
+	return m.sessions.Read(func(*engine.DB) error { return fn() })
+}
+
 // Observe routes one executed statement into the template store. Call it
 // for every workload statement (or use Attach to hook the engine directly).
 // Safe for concurrent use: under a session layer the attached observer
@@ -184,20 +197,30 @@ func (m *Manager) Observe(sql string) error {
 // automatically (the paper's in-server workload logging). DDL — including
 // the manager's own CREATE/DROP INDEX — is not recorded. Detach removes it.
 func (m *Manager) Attach() {
-	m.db.SetObserver(func(sql string) {
-		trimmed := strings.TrimLeft(sql, " \t\n")
-		if len(trimmed) < 6 {
-			return
-		}
-		switch strings.ToUpper(trimmed[:6]) {
-		case "SELECT", "INSERT", "UPDATE", "DELETE":
-			_ = m.Observe(sql)
-		}
+	// Swapping the observer is a hook mutation: take the exclusive lock so
+	// in-flight readers never observe a half-installed hook.
+	_ = m.exclusiveIfSessions(func() error {
+		m.db.SetObserver(func(sql string) {
+			trimmed := strings.TrimLeft(sql, " \t\n")
+			if len(trimmed) < 6 {
+				return
+			}
+			switch strings.ToUpper(trimmed[:6]) {
+			case "SELECT", "INSERT", "UPDATE", "DELETE":
+				_ = m.Observe(sql)
+			}
+		})
+		return nil
 	})
 }
 
 // Detach removes the statement observer.
-func (m *Manager) Detach() { m.db.SetObserver(nil) }
+func (m *Manager) Detach() {
+	_ = m.exclusiveIfSessions(func() error {
+		m.db.SetObserver(nil)
+		return nil
+	})
+}
 
 // LogSample records one (features, measured cost) pair for estimator
 // training. The harness calls this while executing workloads.

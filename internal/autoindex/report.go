@@ -71,37 +71,40 @@ func (r *StateReport) JSON() ([]byte, error) {
 	return append(out, '\n'), nil
 }
 
-// Report summarizes the current state.
+// Report summarizes the current state. The catalog walk runs under the
+// reader lock so the index list, usage counters, and statement count come
+// from one consistent snapshot even while sessions execute concurrently.
 func (m *Manager) Report() *StateReport {
-	rep := &StateReport{
-		Tables:     len(m.db.Catalog().Tables()),
-		Templates:  m.store.Len(),
-		Statements: m.db.StatementCount(),
-	}
+	rep := &StateReport{Templates: m.store.Len()}
 	rep.TemplateMatches, rep.TemplateMisses = m.store.MatchStats()
-	usage := m.db.IndexUsage()
+	_ = m.readIfSessions(func() error {
+		rep.Tables = len(m.db.Catalog().Tables())
+		rep.Statements = m.db.StatementCount()
+		usage := m.db.IndexUsage()
 
-	for _, idx := range m.db.Catalog().Indexes(false) {
-		if strings.HasPrefix(idx.Name, "pk_") {
-			continue
+		for _, idx := range m.db.Catalog().Indexes(false) {
+			if strings.HasPrefix(idx.Name, "pk_") {
+				continue
+			}
+			rep.SecondaryIndexes++
+			rep.IndexBytes += idx.SizeBytes
+			kind := "global"
+			if idx.Local {
+				kind = "local"
+			}
+			rep.Indexes = append(rep.Indexes, IndexState{
+				Name:      idx.Name,
+				Table:     idx.Table,
+				Columns:   append([]string{}, idx.Columns...),
+				Kind:      kind,
+				SizeBytes: idx.SizeBytes,
+				Height:    idx.Height,
+				NumTuples: idx.NumTuples,
+				Probes:    usage[idx.Name],
+			})
 		}
-		rep.SecondaryIndexes++
-		rep.IndexBytes += idx.SizeBytes
-		kind := "global"
-		if idx.Local {
-			kind = "local"
-		}
-		rep.Indexes = append(rep.Indexes, IndexState{
-			Name:      idx.Name,
-			Table:     idx.Table,
-			Columns:   append([]string{}, idx.Columns...),
-			Kind:      kind,
-			SizeBytes: idx.SizeBytes,
-			Height:    idx.Height,
-			NumTuples: idx.NumTuples,
-			Probes:    usage[idx.Name],
-		})
-	}
+		return nil
+	})
 	sort.Slice(rep.Indexes, func(i, j int) bool {
 		if rep.Indexes[i].SizeBytes != rep.Indexes[j].SizeBytes {
 			return rep.Indexes[i].SizeBytes > rep.Indexes[j].SizeBytes

@@ -37,6 +37,10 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Program is the whole-load call graph shared by every pass of one Run;
+	// cross-function analyzers compute program-wide facts once (memoized in
+	// Program.Cache) and report only findings inside this pass's package.
+	Program *Program
 
 	diags *[]Diagnostic
 }
@@ -76,6 +80,7 @@ const IgnoreDirective = "//autoindexlint:ignore"
 // Run applies every analyzer to every package, honoring suppression
 // comments, and returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	prog := BuildProgram(pkgs)
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
@@ -85,6 +90,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Program:   prog,
 				diags:     &diags,
 			}
 			if _, err := a.Run(pass); err != nil {

@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Program is the cross-package view the cross-function analyzers share: one
+// call graph over every loaded root package, built once per Run. Edges are
+// the statically-resolvable calls (direct function calls and concrete method
+// calls); dynamic dispatch through interfaces and calls of function values
+// are not resolved — analyzers over-approximate around that gap with their
+// own context rules. Calls made inside nested function literals count as
+// calls of the enclosing declaration (a deliberate over-approximation: the
+// literal usually runs on behalf of its creator, and when it does not the
+// analyzers' context rules demote it).
+type Program struct {
+	// Pkgs are the loaded root packages, in load order.
+	Pkgs []*Package
+	// Funcs maps every function/method declared in a root package to its
+	// call-graph node. Imported functions have no entry (no syntax).
+	Funcs map[*types.Func]*FuncInfo
+	// Cache lets analyzers memoize program-wide fact computations across
+	// per-package passes, keyed by analyzer name.
+	Cache map[string]any
+	// order keeps Funcs iteration deterministic (declaration order).
+	order []*types.Func
+}
+
+// FuncInfo is one declared function with its outgoing call edges.
+type FuncInfo struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	// Callees lists the statically-resolved call targets, deduplicated, in
+	// source order. Targets may be imported functions without FuncInfo.
+	Callees []*types.Func
+}
+
+// BuildProgram constructs the call graph over the loaded packages.
+func BuildProgram(pkgs []*Package) *Program {
+	prog := &Program{
+		Pkgs:  pkgs,
+		Funcs: make(map[*types.Func]*FuncInfo),
+		Cache: make(map[string]any),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.TypesInfo.ObjectOf(fd.Name).(*types.Func)
+				if !ok {
+					continue
+				}
+				info := &FuncInfo{Fn: fn, Decl: fd, Pkg: pkg}
+				seen := make(map[*types.Func]bool)
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := CalleeOf(pkg.TypesInfo, call); callee != nil && !seen[callee] {
+						seen[callee] = true
+						info.Callees = append(info.Callees, callee)
+					}
+					return true
+				})
+				prog.Funcs[fn] = info
+				prog.order = append(prog.order, fn)
+			}
+		}
+	}
+	return prog
+}
+
+// CalleeOf resolves the statically-known function or concrete method a call
+// invokes (nil for function values, conversions, and interface methods whose
+// implementation is not determined here).
+func CalleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.ObjectOf(fun).(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// Propagate computes the transitive may-reach fact: the returned set holds
+// every declared function that satisfies seed itself or calls — through any
+// chain of declared functions — a function satisfying seed (seeds may be
+// imported functions without declarations). Cycles converge; the result is
+// independent of iteration order.
+func (p *Program) Propagate(seed func(*types.Func) bool) map[*types.Func]bool {
+	fact := make(map[*types.Func]bool)
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range p.order {
+			if fact[fn] {
+				continue
+			}
+			hit := seed(fn)
+			if !hit {
+				for _, c := range p.Funcs[fn].Callees {
+					if fact[c] || seed(c) {
+						hit = true
+						break
+					}
+				}
+			}
+			if hit {
+				fact[fn] = true
+				changed = true
+			}
+		}
+	}
+	return fact
+}
+
+// CallPath returns a shortest call chain from → … → target where target
+// satisfies seed, for diagnostics ("how does this reach the lock?"). BFS
+// over source-ordered callee lists keeps it deterministic. Nil when no chain
+// exists.
+func (p *Program) CallPath(from *types.Func, seed func(*types.Func) bool) []*types.Func {
+	prev := map[*types.Func]*types.Func{from: nil}
+	queue := []*types.Func{from}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		if seed(fn) {
+			var path []*types.Func
+			for f := fn; f != nil; f = prev[f] {
+				path = append([]*types.Func{f}, path...)
+			}
+			return path
+		}
+		info := p.Funcs[fn]
+		if info == nil {
+			continue
+		}
+		for _, c := range info.Callees {
+			if _, ok := prev[c]; ok {
+				continue
+			}
+			prev[c] = fn
+			queue = append(queue, c)
+		}
+	}
+	return nil
+}
+
+// FuncDisplay renders a function for diagnostics: pkgbase.Type.Method or
+// pkgbase.Func.
+func FuncDisplay(fn *types.Func) string {
+	if fn == nil {
+		return "?"
+	}
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if fn.Pkg() != nil {
+		return PathBase(fn.Pkg().Path()) + "." + name
+	}
+	return name
+}

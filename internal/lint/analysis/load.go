@@ -98,8 +98,15 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 
 	var pkgs []*Package
 	for _, lp := range roots {
-		if lp.Name == "" || len(lp.GoFiles) == 0 {
-			continue
+		if lp.Name == "" {
+			// A matched root whose package clause never resolved is a
+			// partially failed load (`-e` soft error without an Error
+			// record); silently skipping it would report the tree clean
+			// without ever analyzing it.
+			return nil, fmt.Errorf("go list: package %s failed to load (no package clause resolved)", lp.ImportPath)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue // test-only package: nothing in the suite's scope
 		}
 		var files []*ast.File
 		for _, gf := range lp.GoFiles {

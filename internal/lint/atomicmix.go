@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"repro/internal/lint/analysis"
+)
+
+// AtomicMix flags mixed atomic/plain access: once any code in the program
+// takes a variable's address into a sync/atomic free function
+// (atomic.AddInt64(&x, …), atomic.LoadUint64(&x), …), every other read or
+// write of that variable must also go through sync/atomic. A plain `x++` or
+// `if x > 0` beside atomic updates is a data race that -race only catches
+// when the schedule cooperates; this check catches it statically and
+// program-wide, so the plain access can live in a different package than
+// the atomic one. Method-based atomics (atomic.Int64 and friends) are
+// type-safe by construction and out of scope.
+var AtomicMix = &analysis.Analyzer{
+	Name: "atomicmix",
+	Doc:  "a variable accessed via sync/atomic anywhere must never be read or written plainly elsewhere",
+	Run:  runAtomicMix,
+}
+
+// atomicMixFactsFor computes (once per Run) every variable whose address is
+// passed to a sync/atomic free function anywhere in the program, mapped to
+// the position of the first such site for the diagnostic.
+func atomicMixFactsFor(prog *analysis.Program) map[*types.Var]token.Position {
+	if m, ok := prog.Cache["atomicmix"].(map[*types.Var]token.Position); ok {
+		return m
+	}
+	vars := make(map[*types.Var]token.Position)
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Syntax {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicFreeFunc(analysis.CalleeOf(pkg.TypesInfo, call)) {
+					return true
+				}
+				for _, arg := range call.Args {
+					u, ok := astUnparen(arg).(*ast.UnaryExpr)
+					if !ok || u.Op != token.AND {
+						continue
+					}
+					if v := referencedVar(pkg.TypesInfo, u.X); v != nil {
+						if _, seen := vars[v]; !seen {
+							vars[v] = pkg.Fset.Position(u.X.Pos())
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	prog.Cache["atomicmix"] = vars
+	return vars
+}
+
+// isAtomicFreeFunc reports whether fn is a receiverless function of
+// sync/atomic (the pointer-taking API; atomic.Int64 methods are exempt).
+func isAtomicFreeFunc(fn *types.Func) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// referencedVar resolves the operand of an & expression to the variable it
+// names: a bare identifier or the field/var behind a selector.
+func referencedVar(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := astUnparen(expr).(type) {
+	case *ast.Ident:
+		if v, ok := info.ObjectOf(e).(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.ObjectOf(e.Sel).(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}
+
+func runAtomicMix(pass *analysis.Pass) (any, error) {
+	if pass.Program == nil {
+		return nil, nil
+	}
+	vars := atomicMixFactsFor(pass.Program)
+	if len(vars) == 0 {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			// Arguments of a sync/atomic call are the sanctioned access
+			// path; skip the whole subtree.
+			if call, ok := n.(*ast.CallExpr); ok && isAtomicFreeFunc(calleeFunc(pass, call)) {
+				return false
+			}
+			// Every use — read, write, or address-taken outside an atomic
+			// call — surfaces as an identifier in Uses, including the Sel
+			// of a field selector. Declarations land in Defs and stay
+			// exempt.
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			if first, tracked := vars[v]; tracked {
+				pass.Reportf(id.Pos(), "%s is accessed via sync/atomic (e.g. %s) but read or written plainly here; mixing atomic and plain access is a data race — use the atomic helpers on every access", v.Name(), shortPosition(first))
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// shortPosition renders file:line with just the base filename, so the
+// diagnostic stays readable regardless of where the module is checked out.
+func shortPosition(pos token.Position) string {
+	return filepath.Base(pos.Filename) + ":" + itoa(pos.Line)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,15 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+func TestErrClass(t *testing.T) {
+	analysistest.Run(t, lint.ErrClass,
+		"internal/lint/testdata/src/errclass/autoindex",
+		"internal/lint/testdata/src/errclass/session",
+	)
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+func TestGoroutineHygiene(t *testing.T) {
+	analysistest.Run(t, lint.GoroutineHygiene,
+		"internal/lint/testdata/src/goroutinehygiene/loadgen",
+	)
+}

@@ -1,10 +1,16 @@
 // Package lint hosts the autoindexlint analyzer suite: project-specific
 // static checks that keep the AutoIndex pipeline deterministic
 // (mapiterorder, seededrand), its cost arithmetic hygienic (floatcosteq),
-// and its observability hooks safe to detach (nilsafeobs). The suite runs
-// over the real tree in CI via cmd/autoindexlint and in `go test` via
-// selfcheck_test.go; analyzer semantics are pinned by analysistest fixtures
-// under testdata/src.
+// and its observability hooks safe to detach (nilsafeobs). On top of the
+// single-function checks, a call-graph layer (analysis.Program) powers four
+// cross-function analyzers: sessionlock (session.Manager lock discipline,
+// including transitive re-entrancy and engine mutation under the reader
+// lock), errclass (build-path errors stay session.Classify-able),
+// goroutinehygiene (background goroutines carry a stop signal; WaitGroup
+// bookkeeping is panic-safe), and atomicmix (no mixed atomic/plain access
+// to the same variable). The suite runs over the real tree in CI via
+// cmd/autoindexlint and in `go test` via selfcheck_test.go; analyzer
+// semantics are pinned by analysistest fixtures under testdata/src.
 package lint
 
 import (
@@ -19,6 +25,10 @@ func All() []*analysis.Analyzer {
 		FloatCostEq,
 		SeededRand,
 		CtxFirst,
+		SessionLock,
+		ErrClass,
+		GoroutineHygiene,
+		AtomicMix,
 	}
 }
 

@@ -47,6 +47,19 @@ func runNilSafeObs(pass *analysis.Pass) (any, error) {
 			}
 			ptr, ok := recv.Type().(*types.Pointer)
 			if !ok {
+				// Value receiver: if the type's pointer method set satisfies
+				// a monitor surface, this method is reachable through a nil
+				// pointer inside the interface value — and the automatic
+				// dereference panics before any guard in the body could run.
+				// The only fix is a pointer receiver with a guard.
+				asPtr := types.NewPointer(recv.Type())
+				for _, mon := range monitors {
+					if implementsMethod(asPtr, mon.iface, fd.Name.Name) {
+						pass.Reportf(fd.Pos(), "method %s implements %s with a value receiver, which panics when the interface holds a nil pointer; use a pointer receiver with a nil guard so a detached (nil) monitor stays a no-op",
+							fd.Name.Name, mon.label)
+						break
+					}
+				}
 				continue
 			}
 			if isObs && fd.Name.IsExported() {

@@ -1,0 +1,496 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// SessionLock enforces the session layer's lock discipline across function
+// boundaries, using the shared call graph:
+//
+//  1. Code running under a session.Manager lock (a Read/Exclusive closure,
+//     or a function only ever called from one) must not re-enter the lock —
+//     directly or through any chain of calls — because the RWMutex does not
+//     re-enter (nested Exclusive inside Read is a guaranteed self-deadlock).
+//  2. Code running under the *reader* lock must not call anything that
+//     transitively mutates engine.DB state (catalog, heap, index set,
+//     observer/fault/metrics hooks): the reader lock is shared, so a
+//     mutation races every concurrent reader.
+//  3. In the autoindex package — the one that tunes a live, session-managed
+//     database — engine.DB state may only be touched through the lock seams
+//     (Read/Exclusive or a discovered wrapper such as exclusiveIfSessions);
+//     a bare m.db.… call races concurrent DDL and online publishes.
+//
+// Wrappers like exclusiveIfSessions are discovered by fixpoint: a function
+// that forwards a func-typed parameter into a Read/Exclusive closure confers
+// that lock level on closures passed to it. Dynamic dispatch (interface
+// methods, escaped function values) is not resolved; contexts it obscures
+// are treated as unlocked, which errs toward missed nesting findings but
+// never invents a lock that is not provably held.
+var SessionLock = &analysis.Analyzer{
+	Name: "sessionlock",
+	Doc:  "no lock re-entry from Read/Exclusive closures, no engine mutation under the reader lock, and (in autoindex) no engine.DB access outside the session-lock seams",
+	Run:  runSessionLock,
+}
+
+// sessionLockDBTargets are the packages where rule 3 applies.
+var sessionLockDBTargets = stringSet{"autoindex": true}
+
+// lockLevel orders the session-lock contexts a statement can run under.
+type lockLevel int
+
+const (
+	lockNone lockLevel = iota
+	lockRead
+	lockExclusive
+)
+
+func (l lockLevel) String() string {
+	switch l {
+	case lockRead:
+		return "Read"
+	case lockExclusive:
+		return "Exclusive"
+	default:
+		return "none"
+	}
+}
+
+// sessionLockEntryNames are the session.Manager methods that acquire the
+// instance lock; calling any of them while it is held re-enters the RWMutex.
+var sessionLockEntryNames = []string{
+	"Read", "Exclusive", "Exec", "ExecStmt",
+	"BuildIndexOnline", "BuildIndexOnlineMonitored",
+}
+
+// engineDBMutators are the *engine.DB methods that mutate database state
+// (heap, catalog, index set, or the attached hooks) and therefore require
+// the exclusive lock when sessions are running.
+var engineDBMutators = []string{
+	"Exec", "ExecParsed", "ExecStmt",
+	"CreateTable", "CreateIndex", "DropIndex", "BulkLoad",
+	"Analyze", "AnalyzeAll", "ResetUsage",
+	"SetChangeLog", "SetObserver", "SetFaultInjector", "SetMetrics",
+}
+
+// isMethodOn reports whether fn is a method on the named type declared in a
+// package whose import-path base matches pkgBase, with one of the given
+// names (any name when names is empty). Matching the path base lets fixture
+// trees exercise the same rules as the real packages.
+func isMethodOn(fn *types.Func, pkgBase, typeName string, names []string) bool {
+	if fn == nil || fn.Pkg() == nil || analysis.PathBase(fn.Pkg().Path()) != pkgBase {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != typeName {
+		return false
+	}
+	if len(names) == 0 {
+		return true
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+func isSessionLockEntry(fn *types.Func) bool {
+	return isMethodOn(fn, "session", "Manager", sessionLockEntryNames)
+}
+
+func isEngineDBMutator(fn *types.Func) bool {
+	return isMethodOn(fn, "engine", "DB", engineDBMutators)
+}
+
+func isEngineDBMethod(fn *types.Func) bool {
+	return isMethodOn(fn, "engine", "DB", nil)
+}
+
+// lockWrapper marks a function that runs one of its func-typed parameters
+// under a session lock (session.Manager.Read/Exclusive themselves, plus
+// discovered wrappers like autoindex's exclusiveIfSessions).
+type lockWrapper struct {
+	param int
+	level lockLevel
+}
+
+// callSite is one statically-visible use of a declared function, with
+// enough context to compute the lock level it executes under.
+type callSite struct {
+	caller *types.Func  // enclosing declaration
+	lit    *ast.FuncLit // innermost enclosing literal (nil: decl body)
+	// fixed, when >= 0, pins the site's level (function passed directly as
+	// a wrapper's locked argument). -1: contextual (resolved from lit or
+	// caller level each round).
+	fixed lockLevel
+}
+
+// sessionLockFacts is the program-wide fact table, computed once per Run.
+type sessionLockFacts struct {
+	wrappers  map[*types.Func]lockWrapper
+	litLevel  map[*ast.FuncLit]lockLevel
+	funcLevel map[*types.Func]lockLevel
+	mayLock   map[*types.Func]bool
+	mutates   map[*types.Func]bool
+}
+
+func (f *sessionLockFacts) wrapperOf(fn *types.Func) (lockWrapper, bool) {
+	if w, ok := f.wrappers[fn]; ok {
+		return w, true
+	}
+	if isMethodOn(fn, "session", "Manager", []string{"Read"}) {
+		return lockWrapper{param: 0, level: lockRead}, true
+	}
+	if isMethodOn(fn, "session", "Manager", []string{"Exclusive"}) {
+		return lockWrapper{param: 0, level: lockExclusive}, true
+	}
+	return lockWrapper{}, false
+}
+
+// contextOf resolves the lock level at a site nested under lits within the
+// declaration declFn. An enclosing literal that is not a known lock closure
+// hides its eventual execution context (it may be stored, deferred, or run
+// on another goroutine), so it demotes to lockNone.
+func (f *sessionLockFacts) contextOf(lits []*ast.FuncLit, declFn *types.Func) lockLevel {
+	if len(lits) > 0 {
+		if lvl, ok := f.litLevel[lits[len(lits)-1]]; ok {
+			return lvl
+		}
+		return lockNone
+	}
+	return f.funcLevel[declFn]
+}
+
+func sessionLockFactsFor(prog *analysis.Program) *sessionLockFacts {
+	if f, ok := prog.Cache["sessionlock"].(*sessionLockFacts); ok {
+		return f
+	}
+	f := &sessionLockFacts{
+		wrappers:  make(map[*types.Func]lockWrapper),
+		litLevel:  make(map[*ast.FuncLit]lockLevel),
+		funcLevel: make(map[*types.Func]lockLevel),
+	}
+
+	// Pass 1 (fixpoint): discover wrappers and the lock level of closures
+	// passed to them. A function becomes a wrapper when a call of one of its
+	// func-typed parameters appears inside a lock closure (or the parameter
+	// is forwarded straight into a wrapper's locked argument slot).
+	for changed := true; changed; {
+		changed = false
+		for _, info := range programFuncs(prog) {
+			pkg := info.Pkg
+			params := paramIndexes(pkg.TypesInfo, info.Decl)
+			walkWithLits(info.Decl.Body, func(call *ast.CallExpr, lits []*ast.FuncLit) {
+				callee := analysis.CalleeOf(pkg.TypesInfo, call)
+				if w, ok := f.wrapperOf(callee); ok && w.param < len(call.Args) {
+					switch arg := astUnparen(call.Args[w.param]).(type) {
+					case *ast.FuncLit:
+						if f.litLevel[arg] < w.level {
+							f.litLevel[arg] = w.level
+							changed = true
+						}
+					case *ast.Ident:
+						obj := pkg.TypesInfo.ObjectOf(arg)
+						if idx, ok := params[obj]; ok {
+							old, had := f.wrappers[info.Fn]
+							if !had || old.level < w.level {
+								f.wrappers[info.Fn] = lockWrapper{param: idx, level: maxLevel(old.level, w.level)}
+								changed = true
+							}
+						}
+					}
+				}
+				// A call of the declaration's own func parameter inside a
+				// lock closure makes the declaration a wrapper for it.
+				if id, ok := astUnparen(call.Fun).(*ast.Ident); ok && len(lits) > 0 {
+					if lvl, isLock := f.litLevel[lits[len(lits)-1]]; isLock {
+						if idx, ok := params[pkg.TypesInfo.ObjectOf(id)]; ok {
+							old, had := f.wrappers[info.Fn]
+							if !had || old.level < lvl || old.param != idx {
+								f.wrappers[info.Fn] = lockWrapper{param: idx, level: maxLevel(old.level, lvl)}
+								changed = true
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+
+	// Pass 2: collect every statically-visible use of each declared
+	// function as a call site. References that are not direct calls and not
+	// a wrapper's locked argument (escaping function values) count as
+	// unlocked sites — the value may run anywhere.
+	sites := make(map[*types.Func][]callSite)
+	for _, info := range programFuncs(prog) {
+		pkg := info.Pkg
+		handled := make(map[*ast.Ident]bool)
+		walkWithLits(info.Decl.Body, func(call *ast.CallExpr, lits []*ast.FuncLit) {
+			var innermost *ast.FuncLit
+			if len(lits) > 0 {
+				innermost = lits[len(lits)-1]
+			}
+			if callee := analysis.CalleeOf(pkg.TypesInfo, call); callee != nil {
+				if id := funIdent(call.Fun); id != nil {
+					handled[id] = true
+				}
+				if _, declared := prog.Funcs[callee]; declared {
+					sites[callee] = append(sites[callee], callSite{caller: info.Fn, lit: innermost, fixed: -1})
+				}
+			}
+			if w, ok := f.wrapperOf(analysis.CalleeOf(pkg.TypesInfo, call)); ok && w.param < len(call.Args) {
+				if id, ok := astUnparen(call.Args[w.param]).(*ast.Ident); ok {
+					if target, ok := pkg.TypesInfo.ObjectOf(id).(*types.Func); ok {
+						handled[id] = true
+						if _, declared := prog.Funcs[target]; declared {
+							sites[target] = append(sites[target], callSite{caller: info.Fn, fixed: w.level})
+						}
+					}
+				}
+			}
+		})
+		ast.Inspect(info.Decl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || handled[id] {
+				return true
+			}
+			if target, ok := pkg.TypesInfo.Uses[id].(*types.Func); ok {
+				if _, declared := prog.Funcs[target]; declared {
+					sites[target] = append(sites[target], callSite{caller: info.Fn, fixed: lockNone})
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 3 (fixpoint): a function's protection level is the minimum over
+	// its call sites. Exported functions and functions with no visible
+	// sites are entry points: unprotected. Levels start optimistic and only
+	// decrease, so Jacobi iteration converges.
+	for _, info := range programFuncs(prog) {
+		fn := info.Fn
+		if fn.Exported() || len(sites[fn]) == 0 {
+			f.funcLevel[fn] = lockNone
+		} else {
+			f.funcLevel[fn] = lockExclusive
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, info := range programFuncs(prog) {
+			fn := info.Fn
+			if fn.Exported() || len(sites[fn]) == 0 {
+				continue
+			}
+			lvl := lockExclusive
+			for _, s := range sites[fn] {
+				var sl lockLevel
+				switch {
+				case s.fixed >= 0:
+					sl = s.fixed
+				case s.lit != nil:
+					var ok bool
+					if sl, ok = f.litLevel[s.lit]; !ok {
+						sl = lockNone
+					}
+				default:
+					sl = f.funcLevel[s.caller]
+				}
+				if sl < lvl {
+					lvl = sl
+				}
+			}
+			if lvl < f.funcLevel[fn] {
+				f.funcLevel[fn] = lvl
+				changed = true
+			}
+		}
+	}
+
+	f.mayLock = prog.Propagate(isSessionLockEntry)
+	f.mutates = prog.Propagate(isEngineDBMutator)
+	prog.Cache["sessionlock"] = f
+	return f
+}
+
+func runSessionLock(pass *analysis.Pass) (any, error) {
+	prog := pass.Program
+	if prog == nil {
+		return nil, nil
+	}
+	f := sessionLockFactsFor(prog)
+	// Rule 3 covers the autoindex library, not `package main` drivers: a
+	// binary's entry point sequences its own single-threaded setup and
+	// shutdown phases, where bare engine access cannot race a session.
+	checkDB := inTargets(pass.Pkg.Path(), sessionLockDBTargets) && pass.Pkg.Name() != "main"
+
+	for _, info := range programFuncs(prog) {
+		if info.Pkg.Types != pass.Pkg {
+			continue
+		}
+		pkg := info.Pkg
+		walkWithLits(info.Decl.Body, func(call *ast.CallExpr, lits []*ast.FuncLit) {
+			callee := analysis.CalleeOf(pkg.TypesInfo, call)
+			if callee == nil {
+				return
+			}
+			ctx := f.contextOf(lits, info.Fn)
+			switch {
+			case ctx >= lockRead:
+				if isSessionLockEntry(callee) {
+					pass.Reportf(call.Pos(), "%s re-enters the session lock inside a %s context: the RWMutex does not re-enter (self-deadlock)",
+						analysis.FuncDisplay(callee), ctx)
+					return
+				}
+				if f.mayLock[callee] {
+					pass.Reportf(call.Pos(), "%s re-enters the session lock inside a %s context (path: %s): the RWMutex does not re-enter (self-deadlock)",
+						analysis.FuncDisplay(callee), ctx, lockPathString(prog, callee, isSessionLockEntry))
+					return
+				}
+				if ctx == lockRead {
+					if isEngineDBMutator(callee) {
+						pass.Reportf(call.Pos(), "%s mutates engine state under the reader lock; mutation requires Exclusive",
+							analysis.FuncDisplay(callee))
+					} else if f.mutates[callee] {
+						pass.Reportf(call.Pos(), "%s mutates engine state under the reader lock (path: %s); mutation requires Exclusive",
+							analysis.FuncDisplay(callee), lockPathString(prog, callee, isEngineDBMutator))
+					}
+				}
+			case checkDB && isEngineDBMethod(callee):
+				pass.Reportf(call.Pos(), "%s is called outside the session-lock seams; route it through Read/Exclusive (or a wrapper) so it cannot race concurrent DDL",
+					analysis.FuncDisplay(callee))
+			}
+		})
+	}
+	return nil, nil
+}
+
+// lockPathString renders the witness chain fn → … → seed for diagnostics.
+func lockPathString(prog *analysis.Program, fn *types.Func, seed func(*types.Func) bool) string {
+	path := prog.CallPath(fn, seed)
+	if path == nil {
+		return analysis.FuncDisplay(fn)
+	}
+	parts := make([]string, len(path))
+	for i, p := range path {
+		parts[i] = analysis.FuncDisplay(p)
+	}
+	return strings.Join(parts, " → ")
+}
+
+// programFuncs iterates the program's declared functions in declaration
+// order (Program.Funcs is a map; order matters for deterministic output).
+func programFuncs(prog *analysis.Program) []*analysis.FuncInfo {
+	if cached, ok := prog.Cache["_funcorder"].([]*analysis.FuncInfo); ok {
+		return cached
+	}
+	var out []*analysis.FuncInfo
+	for _, pkg := range prog.Pkgs {
+		for _, file := range pkg.Syntax {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fn, ok := pkg.TypesInfo.ObjectOf(fd.Name).(*types.Func); ok {
+					if info := prog.Funcs[fn]; info != nil {
+						out = append(out, info)
+					}
+				}
+			}
+		}
+	}
+	prog.Cache["_funcorder"] = out
+	return out
+}
+
+// paramIndexes maps the declaration's func-typed parameter objects to their
+// positional index.
+func paramIndexes(info *types.Info, decl *ast.FuncDecl) map[types.Object]int {
+	out := make(map[types.Object]int)
+	idx := 0
+	if decl.Type.Params == nil {
+		return out
+	}
+	for _, field := range decl.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a slot
+		}
+		for i := 0; i < n; i++ {
+			if i < len(field.Names) {
+				obj := info.ObjectOf(field.Names[i])
+				if obj != nil {
+					if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+						out[obj] = idx
+					}
+				}
+			}
+			idx++
+		}
+	}
+	return out
+}
+
+// walkWithLits visits every call expression in body along with the stack of
+// enclosing function literals.
+func walkWithLits(body *ast.BlockStmt, visit func(call *ast.CallExpr, lits []*ast.FuncLit)) {
+	var stack []*ast.FuncLit
+	var depth []int // literal-stack depth to restore at each node exit
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:depth[len(depth)-1]]
+			depth = depth[:len(depth)-1]
+			return true
+		}
+		depth = append(depth, len(stack))
+		if lit, ok := n.(*ast.FuncLit); ok {
+			stack = append(stack, lit)
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			visit(call, stack)
+		}
+		return true
+	})
+}
+
+// funIdent returns the identifier a call's Fun resolves through, if any.
+func funIdent(fun ast.Expr) *ast.Ident {
+	switch e := astUnparen(fun).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}
+
+func astUnparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func maxLevel(a, b lockLevel) lockLevel {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,40 @@
+// Package engine is an atomicmix fixture: once a variable's address feeds a
+// sync/atomic free function anywhere, every other access must be atomic too
+// — a plain read beside atomic writes is a data race.
+package engine
+
+import "sync/atomic"
+
+type buildState struct {
+	lastSync uint64
+	rows     int
+}
+
+// Allowed: the atomic seam itself.
+func (b *buildState) bump() {
+	atomic.StoreUint64(&b.lastSync, 1)
+}
+
+// Allowed: atomic read of an atomic field.
+func (b *buildState) synced() bool {
+	return atomic.LoadUint64(&b.lastSync) != 0
+}
+
+// Flagged: plain read of the atomically-written field.
+func (b *buildState) syncedRacy() bool {
+	return b.lastSync != 0 // want "accessed via sync/atomic"
+}
+
+// Flagged: plain write; rows stays clean because it is plain everywhere.
+func (b *buildState) reset() {
+	b.lastSync = 0 // want "accessed via sync/atomic"
+	b.rows = 0
+}
+
+// Allowed: method-based atomics are type-safe by construction, and mixing
+// is impossible, so the analyzer ignores them entirely.
+type counter struct {
+	n atomic.Int64
+}
+
+func (c *counter) inc() int64 { return c.n.Add(1) }

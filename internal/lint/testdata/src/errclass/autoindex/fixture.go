@@ -1,0 +1,42 @@
+// Package autoindex is an errclass fixture: Apply roots the build path, and
+// the ErrCode-literal rule applies to every file in the package, on the
+// path or off it.
+package autoindex
+
+import (
+	"fmt"
+
+	"repro/internal/session"
+)
+
+// Apply roots the checked path.
+func Apply(name string) error {
+	if err := applyOne(name); err != nil {
+		// Allowed: %w keeps the chain Classify-able.
+		return fmt.Errorf("apply %s: %w", name, err)
+	}
+	return nil
+}
+
+func applyOne(name string) error {
+	if err := createIndex(name); err != nil {
+		return fmt.Errorf("create %s failed: %v", name, err) // want "without %w"
+	}
+	return nil
+}
+
+func createIndex(string) error { return nil }
+
+// toCode exercises the literal rule: session.ErrCode values written as bare
+// integers bypass the band convention.
+func toCode(err error) session.ErrCode {
+	if err == nil {
+		// Allowed: the named constant.
+		return session.CodeOK
+	}
+	code := session.Classify(err)
+	if code == 5 { // want "literal session.ErrCode"
+		return session.ErrCode(4096) // want "literal session.ErrCode"
+	}
+	return code
+}

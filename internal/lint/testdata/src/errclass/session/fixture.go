@@ -1,0 +1,47 @@
+// Package session is an errclass fixture: BuildIndexOnline roots the build
+// path, so every error produced by its transitive callees must stay
+// unwrappable by Classify.
+package session
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BuildIndexOnline roots the checked path.
+func BuildIndexOnline(name string) error {
+	if err := buildOnce(name); err != nil {
+		// Allowed: %w keeps the chain intact.
+		return fmt.Errorf("online build of %s: %w", name, err)
+	}
+	return nil
+}
+
+// Flagged: %v flattens the chain, so an injected transient fault surfaces
+// as permanent and the build never retries.
+func buildOnce(name string) error {
+	if err := catchup(name); err != nil {
+		return fmt.Errorf("catchup failed: %v", err) // want "without %w"
+	}
+	return nil
+}
+
+func catchup(name string) error {
+	if name == "" {
+		// Allowed: a fresh error with nothing flattened inside it.
+		return errors.New("empty index name")
+	}
+	if err := publish(name); err != nil {
+		return errors.New("publish: " + err.Error()) // want "flattens a build-path error"
+	}
+	return nil
+}
+
+func publish(string) error { return nil }
+
+// offPath is unreachable from any root: the flattening below is real but
+// outside the analyzer's scope, so it must stay unflagged.
+func offPath() error {
+	err := errors.New("x")
+	return fmt.Errorf("wrapped: %v", err)
+}

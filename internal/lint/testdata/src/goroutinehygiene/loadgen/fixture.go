@@ -1,0 +1,103 @@
+// Package loadgen is a goroutinehygiene fixture: goroutines launched here
+// must carry a visible stop signal, and WaitGroup bookkeeping inside them
+// must be panic-safe.
+package loadgen
+
+import (
+	"context"
+	"sync"
+)
+
+func step() {}
+
+// Flagged: nothing can ever stop this goroutine.
+func fireAndForget() {
+	go func() { // want "no stop signal"
+		for {
+			step()
+		}
+	}()
+}
+
+// Allowed: ranging over a channel ends when the channel closes.
+func drain(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Allowed: the captured context is the stop signal.
+func watch(ctx context.Context) {
+	go func() {
+		if ctx.Err() != nil {
+			return
+		}
+		step()
+	}()
+}
+
+// Flagged twice: Add inside the goroutine races the Wait below, and the
+// naked Done leaks the count if work panics.
+func pool(work func(), stop chan struct{}) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "WaitGroup.Add must happen before the goroutine starts"
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		work()
+		wg.Done() // want "WaitGroup.Done inside a goroutine must be deferred"
+	}()
+	wg.Wait()
+}
+
+// Allowed: Add precedes the launch and Done is deferred.
+func poolSafe(work func(), stop chan struct{}) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		work()
+	}()
+	wg.Wait()
+}
+
+type sampler struct {
+	stop chan struct{}
+}
+
+// Allowed: the named callee's own loop selects on the stop channel; the
+// analyzer resolves the body through the call graph.
+func (s *sampler) start() {
+	go s.loop()
+}
+
+func (s *sampler) loop() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		default:
+		}
+	}
+}
+
+// Flagged: named launch with no signal in the arguments or the callee.
+func spinForever() {
+	go spin() // want "no stop signal"
+}
+
+func spin() {
+	for {
+		step()
+	}
+}

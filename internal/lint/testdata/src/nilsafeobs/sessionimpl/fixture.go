@@ -32,3 +32,16 @@ func (m *guardedMonitor) BuildStateChanged(index string, state session.BuildStat
 
 // Allowed: not part of the hook surface.
 func (m *guardedMonitor) reset() { m.last = 0 }
+
+type applySpanHook struct {
+	spans int
+}
+
+var _ session.BuildMonitor = (*applySpanHook)(nil)
+
+// Flagged: a value receiver satisfies the surface through the pointer
+// method set, so the hook is reachable via a nil *applySpanHook — and the
+// automatic dereference panics before any guard could run.
+func (h applySpanHook) BuildStateChanged(index string, state session.BuildState) { // want "value receiver"
+	_ = h.spans
+}

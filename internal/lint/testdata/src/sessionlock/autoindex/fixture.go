@@ -1,0 +1,51 @@
+// Package autoindex is a sessionlock fixture for rule 3: in the package
+// that tunes a live, session-managed database, engine.DB may only be
+// touched through the lock seams — a bare m.db call races concurrent DDL
+// and online index publishes.
+package autoindex
+
+import (
+	"repro/internal/engine"
+	"repro/internal/session"
+)
+
+type manager struct {
+	db       *engine.DB
+	sessions *session.Manager
+}
+
+// exclusiveIfSessions mirrors the real package's wrapper: with a session
+// layer attached, the closure runs under the exclusive lock. The wrapper
+// fixpoint discovers it, so closures passed here count as locked.
+func (m *manager) exclusiveIfSessions(fn func() error) error {
+	if m.sessions == nil {
+		return fn()
+	}
+	return m.sessions.Exclusive(func(db *engine.DB) error {
+		return fn()
+	})
+}
+
+// Flagged: a stale read straight off the engine, outside any seam.
+func (m *manager) staleLookup(name string) bool {
+	return m.db.Catalog().Index(name) != nil // want "outside the session-lock seams"
+}
+
+// Allowed: the same lookup routed through the wrapper.
+func (m *manager) lockedLookup(name string) bool {
+	found := false
+	_ = m.exclusiveIfSessions(func() error {
+		found = m.db.Catalog().Index(name) != nil
+		return nil
+	})
+	return found
+}
+
+// Allowed: a suppression directive with a stated reason silences the
+// finding — construction-time access precedes any concurrent session.
+func newManager(db *engine.DB) *manager {
+	m := &manager{db: db}
+	//autoindexlint:ignore sessionlock construction precedes concurrent sessions
+	_ = m.db.Catalog().Tables()
+	return m
+}
