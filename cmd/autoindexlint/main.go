@@ -8,11 +8,17 @@
 //
 //	-list        print the analyzers and their contracts, then exit
 //	-json        emit findings as a JSON array on stdout (for CI artifacts)
-//	-budget D    fail (exit 3) if the whole run exceeds duration D
+//	-budget D    fail (exit 3) if the whole run exceeds duration D. The
+//	             budget is enforced preemptively: a watchdog aborts the
+//	             process at the deadline, so a slow or hung analyzer cannot
+//	             stall CI past the budget (findings computed so far are
+//	             lost in that case — the run did not finish).
 //
 // Exit codes: 0 clean, 1 findings, 2 load/run error (including a partially
 // failed package load — the suite never silently skips a matched package),
-// 3 budget exceeded.
+// 3 budget exceeded. When a run finishes over budget *and* has findings,
+// the budget exit code wins — the findings are still printed, but the step
+// must surface that the suite has outgrown its time box.
 //
 // A finding can be suppressed — with justification — by a comment on the
 // same line as the finding or the line above it:
@@ -62,6 +68,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The watchdog makes -budget preemptive: Load+Run have no cancellation
+	// seam, so a hung analyzer (the failure the budget exists for) can only
+	// be bounded by aborting the process at the deadline.
+	var watchdog *time.Timer
+	if *budget > 0 {
+		watchdog = time.AfterFunc(*budget, func() {
+			fmt.Fprintf(os.Stderr, "autoindexlint: run still going at the %s budget; aborting\n", *budget)
+			os.Exit(3)
+		})
+	}
 	start := time.Now()
 	pkgs, err := analysis.Load(dir, patterns...)
 	if err != nil {
@@ -77,6 +93,9 @@ func main() {
 		fatal(err)
 	}
 	elapsed := time.Since(start)
+	if watchdog != nil {
+		watchdog.Stop()
+	}
 
 	if *jsonOut {
 		findings := make([]jsonFinding, 0, len(diags))
@@ -101,12 +120,17 @@ func main() {
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "autoindexlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
 	}
+	// Budget over findings: a run that finished just past the deadline
+	// (before the watchdog won the race) still reports its findings above,
+	// but the exit code must say the suite outgrew its time box.
 	if *budget > 0 && elapsed > *budget {
 		fmt.Fprintf(os.Stderr, "autoindexlint: run took %s, over the %s budget\n",
 			elapsed.Round(time.Millisecond), *budget)
 		os.Exit(3)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -18,6 +18,18 @@ import (
 // program-wide, so the plain access can live in a different package than
 // the atomic one. Method-based atomics (atomic.Int64 and friends) are
 // type-safe by construction and out of scope.
+//
+// Granularity is the *declaration*, not the object: a struct field is one
+// types.Var shared by every instance of the type, so an atomic access on
+// one instance makes a plain access to the same field on any other
+// instance a finding, program-wide. That is deliberately conservative —
+// instances are rarely distinguishable statically, and a field that needs
+// atomics on one instance is one refactor away from needing them on all —
+// but it means pre-publication initialization can be flagged too. Struct
+// composite-literal keys (state{lastSync: v}) are exempt, since the value
+// cannot be shared before the literal finishes evaluating; other
+// single-threaded setup (plain writes in a constructor) must either use
+// the atomic helpers or carry a justified //autoindexlint:ignore.
 var AtomicMix = &analysis.Analyzer{
 	Name: "atomicmix",
 	Doc:  "a variable accessed via sync/atomic anywhere must never be read or written plainly elsewhere",
@@ -93,6 +105,7 @@ func runAtomicMix(pass *analysis.Pass) (any, error) {
 		return nil, nil
 	}
 	for _, f := range pass.Files {
+		initKeys := structLitKeys(pass.TypesInfo, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			// Arguments of a sync/atomic call are the sanctioned access
 			// path; skip the whole subtree.
@@ -104,7 +117,7 @@ func runAtomicMix(pass *analysis.Pass) (any, error) {
 			// of a field selector. Declarations land in Defs and stay
 			// exempt.
 			id, ok := n.(*ast.Ident)
-			if !ok {
+			if !ok || initKeys[id] {
 				return true
 			}
 			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
@@ -118,6 +131,37 @@ func runAtomicMix(pass *analysis.Pass) (any, error) {
 		})
 	}
 	return nil, nil
+}
+
+// structLitKeys collects the field-key identifiers of struct composite
+// literals in f. A `state{field: v}` key initializes the field before the
+// value can be shared with another goroutine, so it is exempt from the
+// mixing rule. Map/array literal keys stay in scope: there the key ident
+// is a genuine read of the variable it names.
+func structLitKeys(info *types.Info, f *ast.File) map[*ast.Ident]bool {
+	keys := make(map[*ast.Ident]bool)
+	ast.Inspect(f, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(lit)
+		if t == nil {
+			return true
+		}
+		if _, ok := t.Underlying().(*types.Struct); !ok {
+			return true
+		}
+		for _, elt := range lit.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				if id, ok := astUnparen(kv.Key).(*ast.Ident); ok {
+					keys[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
 }
 
 // shortPosition renders file:line with just the base filename, so the

@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 	"strings"
 
 	"repro/internal/lint/analysis"
@@ -26,7 +27,9 @@ import (
 //
 // Wrappers like exclusiveIfSessions are discovered by fixpoint: a function
 // that forwards a func-typed parameter into a Read/Exclusive closure confers
-// that lock level on closures passed to it. Dynamic dispatch (interface
+// that lock level on closures passed to it; each func-typed parameter is
+// tracked independently, so a setup+teardown helper that runs two callbacks
+// under the lock protects both. Dynamic dispatch (interface
 // methods, escaped function values) is not resolved; contexts it obscures
 // are treated as unlocked, which errs toward missed nesting findings but
 // never invents a lock that is not provably held.
@@ -119,13 +122,21 @@ func isEngineDBMethod(fn *types.Func) bool {
 	return isMethodOn(fn, "engine", "DB", nil)
 }
 
-// lockWrapper marks a function that runs one of its func-typed parameters
-// under a session lock (session.Manager.Read/Exclusive themselves, plus
-// discovered wrappers like autoindex's exclusiveIfSessions).
-type lockWrapper struct {
-	param int
-	level lockLevel
-}
+// lockWrapper records, per func-typed parameter index, the lock level a
+// function runs that parameter under (session.Manager.Read/Exclusive
+// themselves, plus discovered wrappers like autoindex's
+// exclusiveIfSessions). It is keyed by parameter index because one helper
+// can lock several of its parameters — e.g. a setup+teardown pair — and
+// per-parameter levels only ever increase, which keeps the discovery
+// fixpoint monotone.
+type lockWrapper map[int]lockLevel
+
+// The built-in wrappers: session.Manager.Read/Exclusive run their first
+// argument under the corresponding lock. Read-only — never mutated.
+var (
+	readWrapper      = lockWrapper{0: lockRead}
+	exclusiveWrapper = lockWrapper{0: lockExclusive}
+)
 
 // callSite is one statically-visible use of a declared function, with
 // enough context to compute the lock level it executes under.
@@ -147,17 +158,48 @@ type sessionLockFacts struct {
 	mutates   map[*types.Func]bool
 }
 
-func (f *sessionLockFacts) wrapperOf(fn *types.Func) (lockWrapper, bool) {
+// wrapperOf returns the per-parameter lock levels fn confers on its
+// func-typed arguments, or nil if fn is not a lock wrapper.
+func (f *sessionLockFacts) wrapperOf(fn *types.Func) lockWrapper {
 	if w, ok := f.wrappers[fn]; ok {
-		return w, true
+		return w
 	}
 	if isMethodOn(fn, "session", "Manager", []string{"Read"}) {
-		return lockWrapper{param: 0, level: lockRead}, true
+		return readWrapper
 	}
 	if isMethodOn(fn, "session", "Manager", []string{"Exclusive"}) {
-		return lockWrapper{param: 0, level: lockExclusive}, true
+		return exclusiveWrapper
 	}
-	return lockWrapper{}, false
+	return nil
+}
+
+// raiseWrapper raises fn's recorded level for param to at least lvl and
+// reports whether that was progress. Progress is strictly "this parameter's
+// level increased" — a different parameter index alone is not progress
+// (regression: a helper calling two func parameters under the lock once
+// made the single-entry fixpoint flip between indexes forever).
+func (f *sessionLockFacts) raiseWrapper(fn *types.Func, param int, lvl lockLevel) bool {
+	w := f.wrappers[fn]
+	if w[param] >= lvl {
+		return false
+	}
+	if w == nil {
+		w = make(lockWrapper)
+		f.wrappers[fn] = w
+	}
+	w[param] = lvl
+	return true
+}
+
+// wrapperParamsSorted returns w's locked parameter indexes in increasing
+// order, so callers iterate the map deterministically.
+func wrapperParamsSorted(w lockWrapper) []int {
+	idxs := make([]int, 0, len(w))
+	for i := range w {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	return idxs
 }
 
 // contextOf resolves the lock level at a site nested under lits within the
@@ -195,19 +237,21 @@ func sessionLockFactsFor(prog *analysis.Program) *sessionLockFacts {
 			params := paramIndexes(pkg.TypesInfo, info.Decl)
 			walkWithLits(info.Decl.Body, func(call *ast.CallExpr, lits []*ast.FuncLit) {
 				callee := analysis.CalleeOf(pkg.TypesInfo, call)
-				if w, ok := f.wrapperOf(callee); ok && w.param < len(call.Args) {
-					switch arg := astUnparen(call.Args[w.param]).(type) {
+				w := f.wrapperOf(callee)
+				for _, wp := range wrapperParamsSorted(w) {
+					if wp >= len(call.Args) {
+						continue
+					}
+					switch arg := astUnparen(call.Args[wp]).(type) {
 					case *ast.FuncLit:
-						if f.litLevel[arg] < w.level {
-							f.litLevel[arg] = w.level
+						if f.litLevel[arg] < w[wp] {
+							f.litLevel[arg] = w[wp]
 							changed = true
 						}
 					case *ast.Ident:
 						obj := pkg.TypesInfo.ObjectOf(arg)
 						if idx, ok := params[obj]; ok {
-							old, had := f.wrappers[info.Fn]
-							if !had || old.level < w.level {
-								f.wrappers[info.Fn] = lockWrapper{param: idx, level: maxLevel(old.level, w.level)}
+							if f.raiseWrapper(info.Fn, idx, w[wp]) {
 								changed = true
 							}
 						}
@@ -218,9 +262,7 @@ func sessionLockFactsFor(prog *analysis.Program) *sessionLockFacts {
 				if id, ok := astUnparen(call.Fun).(*ast.Ident); ok && len(lits) > 0 {
 					if lvl, isLock := f.litLevel[lits[len(lits)-1]]; isLock {
 						if idx, ok := params[pkg.TypesInfo.ObjectOf(id)]; ok {
-							old, had := f.wrappers[info.Fn]
-							if !had || old.level < lvl || old.param != idx {
-								f.wrappers[info.Fn] = lockWrapper{param: idx, level: maxLevel(old.level, lvl)}
+							if f.raiseWrapper(info.Fn, idx, lvl) {
 								changed = true
 							}
 						}
@@ -251,12 +293,16 @@ func sessionLockFactsFor(prog *analysis.Program) *sessionLockFacts {
 					sites[callee] = append(sites[callee], callSite{caller: info.Fn, lit: innermost, fixed: -1})
 				}
 			}
-			if w, ok := f.wrapperOf(analysis.CalleeOf(pkg.TypesInfo, call)); ok && w.param < len(call.Args) {
-				if id, ok := astUnparen(call.Args[w.param]).(*ast.Ident); ok {
+			w := f.wrapperOf(analysis.CalleeOf(pkg.TypesInfo, call))
+			for _, wp := range wrapperParamsSorted(w) {
+				if wp >= len(call.Args) {
+					continue
+				}
+				if id, ok := astUnparen(call.Args[wp]).(*ast.Ident); ok {
 					if target, ok := pkg.TypesInfo.ObjectOf(id).(*types.Func); ok {
 						handled[id] = true
 						if _, declared := prog.Funcs[target]; declared {
-							sites[target] = append(sites[target], callSite{caller: info.Fn, fixed: w.level})
+							sites[target] = append(sites[target], callSite{caller: info.Fn, fixed: w[wp]})
 						}
 					}
 				}
@@ -486,11 +532,4 @@ func astUnparen(e ast.Expr) ast.Expr {
 		}
 		e = p.X
 	}
-}
-
-func maxLevel(a, b lockLevel) lockLevel {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -31,6 +31,20 @@ func (b *buildState) reset() {
 	b.rows = 0
 }
 
+// Allowed: a struct composite-literal key initializes the field before the
+// value can be shared with another goroutine, so it is not a mixed access.
+func newBuildState() *buildState {
+	return &buildState{lastSync: 1, rows: 0}
+}
+
+// Flagged: a plain constructor write is indistinguishable from a
+// post-publication write, so only the literal form is exempt.
+func newBuildStateRacy() *buildState {
+	b := &buildState{}
+	b.lastSync = 1 // want "accessed via sync/atomic"
+	return b
+}
+
 // Allowed: method-based atomics are type-safe by construction, and mixing
 // is impossible, so the analyzer ignores them entirely.
 type counter struct {
