@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/btree"
+	"repro/internal/bufferpool"
 	"repro/internal/catalog"
 	"repro/internal/costparams"
 	"repro/internal/fault"
@@ -54,6 +55,17 @@ type DB struct {
 	// faults, when armed via SetFaultInjector, is propagated to every heap
 	// and index tree, including ones created later.
 	faults *fault.Injector
+	// pool is the shared buffer pool fronting every heap (physical page-
+	// cache accounting; logical IOCounter charges never depend on it). Nil
+	// disables pooling entirely.
+	pool *bufferpool.Manager
+	// nextHeapID assigns buffer-pool table ids in table-creation order, so
+	// page identities are deterministic for a deterministic DDL sequence.
+	nextHeapID int32
+	// batchExec routes seq scans and write-target scans through the
+	// vectorized page-batch pipeline. On by default; the batch-parity
+	// differential tests flip it to compare against the tuple path.
+	batchExec bool
 }
 
 // SetObserver installs a statement observer (nil to detach). The observer
@@ -130,6 +142,8 @@ func New() *DB {
 		indexes:    make(map[string][]*btree.Tree),
 		indexUsage: make(map[string]int64),
 		order:      BTreeOrder,
+		pool:       bufferpool.NewManager(0),
+		batchExec:  true,
 	}
 	if reg := obs.DefaultRegistry(); reg != nil {
 		db.SetMetrics(reg)
@@ -142,6 +156,11 @@ type Config struct {
 	// BTreeOrder is the node capacity for index trees. Zero means
 	// DefaultOrder; values below the B+Tree minimum are rejected.
 	BTreeOrder int
+	// BufferPoolPages is the buffer pool's frame capacity. Zero means
+	// bufferpool.DefaultCapacity (large enough that experiment runs never
+	// evict, keeping the physical counters deterministic under concurrent
+	// readers); negative disables the pool.
+	BufferPoolPages int
 }
 
 // NewWithConfig creates an empty database with the given configuration,
@@ -157,8 +176,21 @@ func NewWithConfig(cfg Config) (*DB, error) {
 	}
 	db := New()
 	db.order = order
+	switch {
+	case cfg.BufferPoolPages < 0:
+		db.pool = nil
+	case cfg.BufferPoolPages > 0:
+		db.pool = bufferpool.NewManager(cfg.BufferPoolPages)
+		if db.metrics != nil {
+			db.pool.Instrument(db.metrics.reg)
+		}
+	}
 	return db, nil
 }
+
+// BufferPool exposes the shared page cache (nil when disabled); tests and
+// the bench runner read its Stats.
+func (db *DB) BufferPool() *bufferpool.Manager { return db.pool }
 
 // SetFaultInjector arms (or with nil disarms) fault injection across the
 // whole instance: every existing heap and index tree, plus any created
@@ -166,6 +198,7 @@ func NewWithConfig(cfg Config) (*DB, error) {
 // recovered at the ExecStmt boundary.
 func (db *DB) SetFaultInjector(in *fault.Injector) {
 	db.faults = in
+	db.pool.SetFaultInjector(in)
 	for _, h := range db.heaps {
 		h.SetFaultInjector(in)
 	}
@@ -234,6 +267,10 @@ func (db *DB) CreateTable(stmt *sqlparser.CreateTableStmt) error {
 	}
 	heap := storage.NewHeap()
 	heap.SetFaultInjector(db.faults)
+	if db.pool != nil {
+		heap.AttachPool(db.pool, db.nextHeapID)
+		db.nextHeapID++
+	}
 	db.heaps[t.Name] = heap
 	if len(stmt.PrimaryKey) > 0 {
 		return db.createIndex(&stmtState{}, "pk_"+t.Name, t.Name, stmt.PrimaryKey, true, false)

@@ -48,23 +48,8 @@ func TestDifferentialIndexTransparency(t *testing.T) {
 // buildRandomDB creates two deterministic tables seeded by trial.
 func buildRandomDB(t *testing.T, trial int64) *DB {
 	t.Helper()
-	rng := rand.New(rand.NewSource(trial*31 + 1))
 	db := New()
-	mustExec(t, db, "CREATE TABLE l (id BIGINT, a BIGINT, b BIGINT, s TEXT, PRIMARY KEY (id))")
-	mustExec(t, db, "CREATE TABLE r (id BIGINT, la BIGINT, v DOUBLE, PRIMARY KEY (id))")
-	for i := 0; i < 600; i++ {
-		mustExec(t, db, fmt.Sprintf(
-			"INSERT INTO l (id, a, b, s) VALUES (%d, %d, %d, 't%d')",
-			i, rng.Intn(40), rng.Intn(25), rng.Intn(8)))
-	}
-	for i := 0; i < 400; i++ {
-		mustExec(t, db, fmt.Sprintf(
-			"INSERT INTO r (id, la, v) VALUES (%d, %d, %d.5)",
-			i, rng.Intn(40), rng.Intn(100)))
-	}
-	if err := db.AnalyzeAll(); err != nil {
-		t.Fatal(err)
-	}
+	seedRandomDB(t, db, trial)
 	return db
 }
 

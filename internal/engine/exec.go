@@ -11,6 +11,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
+	"repro/internal/storage"
 )
 
 // Exec parses and executes one SQL string.
@@ -226,6 +227,34 @@ func (db *DB) runSeqScan(ctx *evalCtx, n *planner.SeqScanNode) ([]row, error) {
 	heap := db.heaps[n.Table]
 	var out []row
 	var scanErr error
+	if db.batchExec {
+		// Vectorized path: one callback per page, compiled filter applied
+		// over the whole batch. Identical rows, IO charges, and ops totals
+		// as the tuple path below (the parity differential test pins this);
+		// n.Filter == nil vectorizes trivially.
+		var pred *batchPred
+		vectorized := n.Filter == nil
+		if n.Filter != nil {
+			pred = compileBatchPred(n.Filter, n.Binding, ctx.cols[n.Binding])
+			vectorized = pred != nil
+		}
+		if vectorized {
+			heap.ScanBatch(&ctx.st.io, func(b *storage.Batch) bool {
+				ctx.st.tuplesProcessed += int64(b.Len())
+				sel := b.Sel
+				if pred != nil {
+					sel = pred.Select(b.Tuples, b.Sel, &ctx.ops)
+				}
+				for _, s := range sel {
+					r := newRow()
+					r.vals[n.Binding] = b.Tuples[s]
+					out = append(out, r)
+				}
+				return true
+			})
+			return out, nil
+		}
+	}
 	if n.Filter != nil {
 		if fast := compileExpr(n.Filter, n.Binding, ctx.cols[n.Binding]); fast != nil {
 			// Compiled path: filter before allocating the row map, so

@@ -47,6 +47,7 @@ type dbMetrics struct {
 func (db *DB) SetMetrics(reg *obs.Registry) {
 	if reg == nil {
 		db.metrics = nil
+		db.pool.Instrument(nil)
 		for _, trees := range db.indexes {
 			for _, t := range trees {
 				t.SetMonitor(nil)
@@ -83,6 +84,7 @@ func (db *DB) SetMetrics(reg *obs.Registry) {
 		indexBytes:  reg.GaugeVec("engine_index_size_bytes", "Estimated index size per index", "index"),
 	}
 	db.metrics = m
+	db.pool.Instrument(reg)
 	// Attach monitors to live trees and publish current structural gauges;
 	// trees created later attach in createIndex/BulkBuild.
 	for name, trees := range db.indexes {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/sqlparser"
 	"repro/internal/sqltypes"
+	"repro/internal/storage"
 )
 
 // execInsert appends tuples and maintains every real index instantly.
@@ -170,6 +171,33 @@ func (db *DB) targetRows(st *stmtState, table string, where sqlparser.Expr) ([]b
 			return nil, nil, err
 		}
 		heap := db.heaps[t.Name]
+		if db.batchExec {
+			// Vectorized write-target scan, mirroring runSeqScan's batch
+			// path. The batch's tuples are collected (not copied), which is
+			// all the update/delete loops need.
+			var pred *batchPred
+			vectorized := sc.Filter == nil
+			if sc.Filter != nil {
+				pred = compileBatchPred(sc.Filter, sc.Binding, ctx.cols[sc.Binding])
+				vectorized = pred != nil
+			}
+			if vectorized {
+				heap.ScanBatch(&st.io, func(b *storage.Batch) bool {
+					st.tuplesProcessed += int64(b.Len())
+					sel := b.Sel
+					if pred != nil {
+						sel = pred.Select(b.Tuples, b.Sel, &ctx.ops)
+					}
+					for _, s := range sel {
+						rids = append(rids, b.RID(s))
+						tups = append(tups, b.Tuples[s])
+					}
+					return true
+				})
+				st.operatorEvals += ctx.ops
+				return rids, tups, nil
+			}
+		}
 		var fast compiledExpr
 		if sc.Filter != nil {
 			fast = compileExpr(sc.Filter, sc.Binding, ctx.cols[sc.Binding])

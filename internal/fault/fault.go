@@ -66,6 +66,12 @@ const (
 	// SiteBuildCatchup fires once per change-log replay batch of an online
 	// index build — the window where a crash must roll the build back.
 	SiteBuildCatchup Site = "session.build_catchup"
+	// Buffer-pool sites: SiteBufferMiss fires once per pool miss (the
+	// simulated physical page load), SiteBufferEvict once per frame
+	// eviction. Both surface as panics recovered at the statement boundary,
+	// like the storage sites they sit beneath.
+	SiteBufferMiss  Site = "bufferpool.miss"
+	SiteBufferEvict Site = "bufferpool.evict"
 )
 
 // Rule is one entry in a fault schedule.

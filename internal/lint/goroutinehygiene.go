@@ -30,6 +30,7 @@ var GoroutineHygiene = &analysis.Analyzer{
 var goroutineHygieneTargets = stringSet{
 	"engine": true, "session": true, "loadgen": true,
 	"costmodel": true, "obs": true, "benchrunner": true,
+	"bufferpool": true,
 }
 
 func runGoroutineHygiene(pass *analysis.Pass) (any, error) {

@@ -8,7 +8,8 @@
 // lock), errclass (build-path errors stay session.Classify-able),
 // goroutinehygiene (background goroutines carry a stop signal; WaitGroup
 // bookkeeping is panic-safe), and atomicmix (no mixed atomic/plain access
-// to the same variable). The suite runs over the real tree in CI via
+// to the same variable). pinunpin guards the buffer-pool seam: every
+// Manager.Pin needs a deferred Unpin so fault panics cannot leak pins. The suite runs over the real tree in CI via
 // cmd/autoindexlint and in `go test` via selfcheck_test.go; analyzer
 // semantics are pinned by analysistest fixtures under testdata/src.
 package lint
@@ -29,6 +30,7 @@ func All() []*analysis.Analyzer {
 		ErrClass,
 		GoroutineHygiene,
 		AtomicMix,
+		PinUnpin,
 	}
 }
 

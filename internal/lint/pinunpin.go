@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// PinUnpin enforces the buffer-pool pin seam: a function that calls
+// (*bufferpool.Manager).Pin must also contain a deferred
+// (*bufferpool.Manager).Unpin. Page callbacks can panic (injected faults
+// unwind through them to the statement boundary), so a non-deferred Unpin
+// on the straight-line path leaks the pin on every unwinding path, and a
+// leaked pin permanently exempts the frame from eviction. Each function
+// body (and each function literal) is its own scope: a closure that pins
+// must carry its own deferred unpin.
+var PinUnpin = &analysis.Analyzer{
+	Name: "pinunpin",
+	Doc:  "bufferpool.Manager.Pin requires a deferred Unpin in the same function so panics through page callbacks cannot leak the pin",
+	Run:  runPinUnpin,
+}
+
+func runPinUnpin(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPinScope(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+// checkPinScope inspects one function body, recursing into nested literals
+// as independent scopes, and reports every Pin call the scope does not
+// cover with a deferred Unpin.
+func checkPinScope(pass *analysis.Pass, body *ast.BlockStmt) {
+	var pins []*ast.CallExpr
+	hasDeferredUnpin := false
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			checkPinScope(pass, node.Body)
+			return false // a literal is its own pin scope
+		case *ast.DeferStmt:
+			if isPoolMethod(pass, node.Call, "Unpin") {
+				hasDeferredUnpin = true
+			}
+			// A deferred closure may also carry the unpin (defer func() {
+			// pool.Unpin(id) }()): credit it here, but still visit the
+			// literal above for its own Pins.
+			if lit, ok := astUnparen(node.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok && isPoolMethod(pass, call, "Unpin") {
+						hasDeferredUnpin = true
+					}
+					return true
+				})
+			}
+		case *ast.CallExpr:
+			if isPoolMethod(pass, node, "Pin") {
+				pins = append(pins, node)
+			}
+		}
+		return true
+	}
+	ast.Inspect(body, walk)
+	if !hasDeferredUnpin {
+		for _, call := range pins {
+			pass.Reportf(call.Pos(), "bufferpool.Manager.Pin without a deferred Unpin in this function: a panic through the page callback leaks the pin and the frame can never be evicted")
+		}
+	}
+}
+
+// isPoolMethod reports whether call invokes the named method on
+// bufferpool.Manager (pointer or value receiver).
+func isPoolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Name() != name {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Manager" &&
+		named.Obj().Pkg() != nil &&
+		analysis.PathBase(named.Obj().Pkg().Path()) == "bufferpool"
+}

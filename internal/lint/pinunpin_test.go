@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+func TestPinUnpin(t *testing.T) {
+	analysistest.Run(t, lint.PinUnpin,
+		"internal/lint/testdata/src/pinunpin/storage",
+	)
+}

@@ -22,6 +22,9 @@ var randTargets = stringSet{
 	// session draws build-retry jitter; an unseeded source there would make
 	// retry schedules (and thus chaos-test outcomes) irreproducible.
 	"session": true,
+	// bufferpool's eviction choices feed deterministic physical counters;
+	// a randomized policy (e.g. random replacement) must be seeded.
+	"bufferpool": true,
 }
 
 // timeNowBanned are the pure-estimation packages where wall-clock time must

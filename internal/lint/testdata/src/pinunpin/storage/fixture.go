@@ -1,0 +1,52 @@
+// Package storage is a pinunpin fixture: every Pin on a bufferpool.Manager
+// needs a deferred Unpin in the same function scope, because page callbacks
+// can panic (injected faults) and a straight-line Unpin then never runs.
+package storage
+
+import "repro/internal/bufferpool"
+
+// Flagged: pin with a straight-line unpin — leaked on any panic between.
+func scanLeaky(pool *bufferpool.Manager, id bufferpool.PageID, visit func() bool) bool {
+	pool.Pin(id) // want "Pin without a deferred Unpin"
+	ok := visit()
+	pool.Unpin(id)
+	return ok
+}
+
+// Flagged: pin with no unpin at all.
+func pinForever(pool *bufferpool.Manager, id bufferpool.PageID) {
+	pool.Pin(id) // want "Pin without a deferred Unpin"
+}
+
+// Allowed: the canonical shape — defer the unpin immediately after pinning.
+func scanSafe(pool *bufferpool.Manager, id bufferpool.PageID, visit func() bool) bool {
+	pool.Pin(id)
+	defer pool.Unpin(id)
+	return visit()
+}
+
+// Allowed: unpin deferred through a closure (e.g. alongside other cleanup).
+func scanDeferredClosure(pool *bufferpool.Manager, id bufferpool.PageID, visit func() bool) bool {
+	pool.Pin(id)
+	defer func() {
+		pool.Unpin(id)
+	}()
+	return visit()
+}
+
+// Allowed: Touch is a point access (pin+unpin inside the pool); no pairing
+// obligation leaks to the caller.
+func touchOnly(pool *bufferpool.Manager, id bufferpool.PageID) bool {
+	return pool.Touch(id)
+}
+
+// A closure is its own pin scope: the outer function's deferred Unpin does
+// not cover a Pin inside a nested literal.
+func closureScopes(pool *bufferpool.Manager, a, b bufferpool.PageID) func() {
+	pool.Pin(a)
+	defer pool.Unpin(a)
+	return func() {
+		pool.Pin(b) // want "Pin without a deferred Unpin"
+		pool.Unpin(b)
+	}
+}
