@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/autoindex"
 	"repro/internal/engine"
+	"repro/internal/guardrail"
 	"repro/internal/harness"
 	"repro/internal/mcts"
 	"repro/internal/obs"
@@ -52,6 +53,12 @@ func main() {
 		"serve /metrics (Prometheus text), /metrics.json and /debug/trace on this address (e.g. :9090)")
 	flag.DurationVar(&roundTimeout, "round-timeout", 0,
 		"deadline per tuning round's search (e.g. 500ms); on deadline the best-so-far recommendation is used, flagged degraded (0 = unbounded)")
+	flag.BoolVar(&guardrailOn, "guardrail", false,
+		"with -apply: stage every applied recommendation and verify it against measured cost across rounds, auto-reverting regressions (staged -> verifying -> promoted | reverted)")
+	flag.IntVar(&verifyWindows, "verify-windows", guardrail.DefaultVerifyWindows,
+		"guardrail minimum-sample floor: measured windows before a promote/revert verdict")
+	flag.Float64Var(&regressThreshold, "regress-threshold", guardrail.DefaultRegressThreshold,
+		"guardrail regression tolerance: revert when mean measured cost exceeds baseline*(1+threshold)")
 	flag.Parse()
 	showReport = *report
 	jsonOut = *jsonReport
@@ -92,6 +99,13 @@ var (
 
 // roundTimeout bounds each tuning round's search (set from -round-timeout).
 var roundTimeout time.Duration
+
+// Guardrail knobs (set from -guardrail, -verify-windows, -regress-threshold).
+var (
+	guardrailOn      bool
+	verifyWindows    int
+	regressThreshold float64
+)
 
 func run(scenario string, scale int, schemaFile, workloadFile string,
 	budget, seed int64, apply bool, n int, loadSnap, saveSnap string, rounds int) error {
@@ -192,6 +206,17 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 		sm := session.New(db, session.Options{Seed: seed, Registry: metricsRegistry})
 		mgr.UseSessions(sm)
 	}
+	var guard *guardrail.Controller
+	if guardrailOn {
+		guard = guardrail.Attach(mgr, guardrail.Config{
+			Seed:             seed,
+			VerifyWindows:    verifyWindows,
+			RegressThreshold: regressThreshold,
+			Registry:         metricsRegistry,
+		})
+		fmt.Printf("guardrail on: verify-windows=%d regress-threshold=%.2f\n",
+			verifyWindows, regressThreshold)
+	}
 
 	var baseline float64
 	for round := 1; round <= rounds; round++ {
@@ -283,6 +308,14 @@ func tune(db *engine.DB, stream []string, budget, seed int64, apply bool,
 		if relErr, n, ok := mgr.PredictionAccuracy(); ok {
 			fmt.Printf("estimator accuracy: mean relative benefit error %.2f over %d applied rounds\n",
 				relErr, n)
+		}
+	}
+	if guard != nil {
+		fmt.Printf("guardrail: tracked=%d reverts=%d\n", guard.Tracked(), guard.Reverts())
+		for i, o := range mgr.Outcomes() {
+			if o.Lifecycle != autoindex.LifecycleNone {
+				fmt.Printf("  outcome %d (round %d): %s\n", i, o.Round, o.Lifecycle)
+			}
 		}
 	}
 	if jsonOut {

@@ -35,13 +35,16 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/autoindex"
+	"repro/internal/catalog"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/guardrail"
 	"repro/internal/harness"
 	"repro/internal/loadgen"
 	"repro/internal/mcts"
@@ -72,6 +75,8 @@ func main() {
 		"loadgen: filter the TPC-C stream to SELECTs (deterministic counters for -bench-out)")
 	onlineTune := flag.Bool("online-tune", false,
 		"loadgen: run a tuning round concurrently with the load, applying indexes as online builds")
+	useGuardrail := flag.Bool("guardrail", false,
+		"loadgen: guardrail acceptance mode — plant a deliberately bad index and prove the windowed controller auto-reverts it under live traffic with zero foreground failures")
 	flag.Parse()
 	experiments.RoundTimeout = *roundTimeout
 
@@ -109,6 +114,13 @@ func main() {
 			readOnly:    *readOnly,
 			onlineTune:  *onlineTune,
 			benchOut:    *benchOut,
+		}
+		if *useGuardrail {
+			if err := runGuardrailLoadgen(o); err != nil {
+				fmt.Fprintln(os.Stderr, "benchrunner: guardrail:", err)
+				os.Exit(1)
+			}
+			return
 		}
 		if err := runLoadgen(o); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner: loadgen:", err)
@@ -278,7 +290,7 @@ func runLoadgen(o loadgenOpts) error {
 		if out.err != nil {
 			return fmt.Errorf("online tune: %w", out.err)
 		}
-		fmt.Printf("online tune: %d created, %d dropped (background=%v catchup_rows=%d code=%d)\n",
+		fmt.Printf("online tune: %d created, %d dropped (background=%v catchup_rows=%d code=%s)\n",
 			len(out.rep.Created), len(out.rep.Dropped), out.rep.Background,
 			out.rep.CatchupRows, out.rep.Code)
 		fmt.Printf("foreground during build: %d requests, %d failed, max concurrent readers %d\n",
@@ -305,6 +317,128 @@ func runLoadgen(o loadgenOpts) error {
 		}
 		fmt.Printf("bench snapshot → %s\n", o.benchOut)
 	}
+	return nil
+}
+
+// runGuardrailLoadgen is the guardrail acceptance run: it plants a
+// deliberately bad index on stock(s_ytd, s_order_cnt) — columns that only
+// ever appear in UPDATE SET clauses, so the index is pure maintenance cost
+// and the planner never probes it — then drives seeded Poisson traffic
+// through the session layer in measured windows. The windowed controller
+// must auto-revert the planted index (unused and/or regressing) while every
+// foreground statement keeps succeeding; any surviving index, wrong
+// lifecycle, or foreground failure fails the run.
+func runGuardrailLoadgen(o loadgenOpts) error {
+	header(fmt.Sprintf("Guardrail acceptance — TPC-C%dx, %.0f req/s Poisson, %v/window, %d workers",
+		o.scale, o.qps, o.duration, o.workers))
+	db := engine.New()
+	l := tpcc.NewLoader(tpcc.Scale(o.scale), o.seed)
+	if err := l.Load(db); err != nil {
+		return err
+	}
+	stmts := harness.Flatten(l.Transactions(500, tpcc.StandardMix()))
+
+	// One baseline window plus the verify windows; each window consumes its
+	// own contiguous chunk of the statement stream so no INSERT runs twice
+	// (loadgen cycles its statement list — MaxRequests = chunk length keeps
+	// every statement to at most one execution).
+	windows := guardrail.DefaultVerifyWindows + 1
+	if len(stmts) < windows {
+		return fmt.Errorf("statement stream too short: %d statements for %d windows", len(stmts), windows)
+	}
+
+	sm := session.New(db, session.Options{Seed: o.seed, Registry: obs.DefaultRegistry()})
+	mgr := autoindex.New(db, autoindex.Options{})
+	mgr.UseSessions(sm)
+	guard := guardrail.Attach(mgr, guardrail.Config{Seed: o.seed, Registry: obs.DefaultRegistry()})
+	ctx := context.Background()
+
+	// Per-window measured cost comes from the engine's statement-cost
+	// histogram: deltas are sampled immediately around each window's run so
+	// the planted apply's own build cost is not charged to a window.
+	costHist := func() (sum float64, count int64, err error) {
+		h := obs.DefaultRegistry().LookupHistogram("engine_statement_cost")
+		if h == nil {
+			return 0, 0, fmt.Errorf("engine_statement_cost histogram not registered")
+		}
+		return h.Sum(), h.Count(), nil
+	}
+
+	lastCost := math.NaN()
+	totalRequests, totalErrors := 0, 0
+	runWindow := func(w int, chunk []string) error {
+		preSum, preCount, err := costHist()
+		if err != nil {
+			return err
+		}
+		res, err := loadgen.Run(ctx, loadgen.NewSessionExecutor(sm), loadgen.Config{
+			Seed:        o.seed + int64(w),
+			QPS:         o.qps,
+			Duration:    o.duration,
+			Workers:     o.workers,
+			MaxRequests: len(chunk),
+			Statements:  chunk,
+			Registry:    obs.DefaultRegistry(),
+		})
+		if err != nil {
+			return err
+		}
+		postSum, postCount, err := costHist()
+		if err != nil {
+			return err
+		}
+		cost := lastCost
+		if dc := postCount - preCount; dc > 0 {
+			cost = (postSum - preSum) / float64(dc)
+		}
+		lastCost = cost
+		totalRequests += res.Requests
+		totalErrors += res.Errors
+		mgr.ObserveMeasuredCost(cost)
+		fmt.Printf("window %d: %d requests, %d failed, mean stmt cost %.1f\n",
+			w, res.Requests, res.Errors, cost)
+		return nil
+	}
+
+	chunk := len(stmts) / windows
+	if err := runWindow(0, stmts[:chunk]); err != nil {
+		return err
+	}
+
+	// Plant the bad index through the normal apply path so the ledger opens
+	// an outcome record and the guardrail stages it.
+	const planted = "ai_stock_s_ytd_s_order_cnt"
+	rep, err := mgr.Apply(ctx, &autoindex.Recommendation{
+		Create:           []*catalog.IndexMeta{{Table: "stock", Columns: []string{"s_ytd", "s_order_cnt"}}},
+		EstimatedBenefit: 25,
+	})
+	if err != nil {
+		return fmt.Errorf("planting bad index: %w", err)
+	}
+	fmt.Printf("planted bad index: %s\n", rep)
+
+	for w := 1; w < windows; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if w == windows-1 {
+			hi = len(stmts)
+		}
+		if err := runWindow(w, stmts[lo:hi]); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("guardrail: tracked=%d reverts=%d, foreground %d requests %d failed, max concurrent readers %d\n",
+		guard.Tracked(), guard.Reverts(), totalRequests, totalErrors, sm.MaxConcurrentReaders())
+	if got := mgr.OutcomeLifecycle(0); got != autoindex.LifecycleReverted {
+		return fmt.Errorf("planted index lifecycle = %v, want reverted", got)
+	}
+	if db.Catalog().Index(planted) != nil {
+		return fmt.Errorf("planted index %s survived the guardrail", planted)
+	}
+	if totalErrors > 0 {
+		return fmt.Errorf("%d foreground statements failed during the run", totalErrors)
+	}
+	fmt.Println("guardrail acceptance: planted index auto-reverted, zero foreground failures")
 	return nil
 }
 

@@ -3,6 +3,7 @@ package autoindex
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/catalog"
 	"repro/internal/engine"
@@ -46,6 +47,40 @@ type ApplyReport struct {
 	// [1,10000) temporary (already retried with seeded backoff before
 	// surfacing), >=10000 permanent.
 	Code session.ErrCode
+}
+
+// String summarizes the report on one line for logs: change counts, the
+// background/catchup detail when the session layer built online, and — on
+// failure — the symbolic error class plus rollback status.
+func (r *ApplyReport) String() string {
+	var b strings.Builder
+	if r.Err == nil {
+		fmt.Fprintf(&b, "apply ok: created=%d dropped=%d", len(r.Created), len(r.Dropped))
+	} else {
+		fmt.Fprintf(&b, "apply failed (%s): %v", r.Code, r.Err)
+		if r.RolledBack {
+			if r.RollbackErr != nil {
+				fmt.Fprintf(&b, "; rollback incomplete: %v", r.RollbackErr)
+			} else {
+				b.WriteString("; rolled back")
+			}
+		}
+		fmt.Fprintf(&b, " [created=%d dropped=%d]", len(r.Created), len(r.Dropped))
+	}
+	if len(r.Created) > 0 {
+		fmt.Fprintf(&b, " create=[%s]", strings.Join(r.Created, " "))
+	}
+	if len(r.Dropped) > 0 {
+		names := make([]string, len(r.Dropped))
+		for i, meta := range r.Dropped {
+			names[i] = meta.Name
+		}
+		fmt.Fprintf(&b, " drop=[%s]", strings.Join(names, " "))
+	}
+	if r.Background {
+		fmt.Fprintf(&b, " background catchup_rows=%d", r.CatchupRows)
+	}
+	return b.String()
 }
 
 // Apply executes a recommendation transactionally: drops first (freeing

@@ -109,6 +109,9 @@ type Manager struct {
 	rounds           int64
 	outcomes         []AppliedOutcome
 	lastMeasuredCost float64
+	// watcher, when set, observes every ledger append and measured cost —
+	// the guardrail controller's feed (see SetApplyWatcher).
+	watcher ApplyWatcher
 	// sessions, when set, is the concurrent serving layer the manager tunes
 	// through: search phases take its exclusive lock (what-if estimation
 	// mounts hypothetical indexes on the shared catalog), creates become

@@ -1,0 +1,203 @@
+package autoindex
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/engine"
+	"repro/internal/session"
+)
+
+// measuredDB is a small table for ledger-interleaving tests (the MCTS-heavy
+// readHeavyDB is overkill here — these applies are fabricated).
+func measuredDB(t testing.TB) *engine.DB {
+	t.Helper()
+	db := engine.New()
+	if _, err := db.Exec("CREATE TABLE ev (id BIGINT, user_id BIGINT, kind TEXT, PRIMARY KEY (id))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := db.Exec(fmt.Sprintf(
+			"INSERT INTO ev (id, user_id, kind) VALUES (%d, %d, 'k%d')", i, i%10, i%4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func applyOne(t testing.TB, m *Manager, column string) *ApplyReport {
+	t.Helper()
+	rep, err := m.Apply(context.Background(), &Recommendation{
+		Create:           []*catalog.IndexMeta{{Table: "ev", Columns: []string{column}}},
+		EstimatedBenefit: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestMeasuredCostBeforeAnyApply pins the empty-ledger interleaving: an
+// observation with no outcomes completes nothing, but still becomes the
+// baseline CostBefore of the next apply.
+func TestMeasuredCostBeforeAnyApply(t *testing.T) {
+	m := New(measuredDB(t), Options{})
+	m.ObserveMeasuredCost(50)
+	if n := len(m.Outcomes()); n != 0 {
+		t.Fatalf("outcomes = %d before any apply", n)
+	}
+	applyOne(t, m, "user_id")
+	outs := m.Outcomes()
+	if len(outs) != 1 || outs[0].CostBefore != 50 {
+		t.Fatalf("apply after observation: outcomes=%+v, want CostBefore=50", outs)
+	}
+	if outs[0].Complete {
+		t.Fatal("open record must not be complete before the after-measurement")
+	}
+}
+
+// TestTwoAppliesBeforeOneMeasurement pins which record a late observation
+// completes: only the most recent one. The earlier apply's record stays
+// open forever — its "after" window never existed, and fabricating one
+// from a later measurement would attribute the second index's effect to
+// the first.
+func TestTwoAppliesBeforeOneMeasurement(t *testing.T) {
+	m := New(measuredDB(t), Options{})
+	m.ObserveMeasuredCost(100)
+	applyOne(t, m, "user_id")
+	applyOne(t, m, "kind")
+	m.ObserveMeasuredCost(40)
+
+	outs := m.Outcomes()
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d, want 2", len(outs))
+	}
+	if outs[0].Complete || !math.IsNaN(outs[0].CostAfter) {
+		t.Fatalf("first apply's record must stay open: %+v", outs[0])
+	}
+	if !outs[1].Complete || outs[1].CostAfter != 40 || outs[1].MeasuredBenefit != 60 {
+		t.Fatalf("second apply's record must complete with CostAfter=40 benefit=60: %+v", outs[1])
+	}
+}
+
+// TestMeasurementAfterFailedApply pins that a Failed record — born complete,
+// there is no configuration change to measure — is not touched by a later
+// observation, which only moves the baseline for the next apply.
+func TestMeasurementAfterFailedApply(t *testing.T) {
+	m := New(measuredDB(t), Options{})
+	m.ObserveMeasuredCost(100)
+	rep, err := m.Apply(context.Background(), &Recommendation{
+		Create: []*catalog.IndexMeta{{Table: "no_such_table", Columns: []string{"x"}}},
+	})
+	if err == nil {
+		t.Fatal("apply against a missing table must fail")
+	}
+	if rep.Code != session.CodePermanent {
+		t.Fatalf("Code = %v, want permanent", rep.Code)
+	}
+	if s := rep.String(); !strings.Contains(s, "apply failed (permanent)") {
+		t.Fatalf("ApplyReport.String() = %q, want symbolic failure class", s)
+	}
+
+	m.ObserveMeasuredCost(80)
+	outs := m.Outcomes()
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(outs))
+	}
+	if !outs[0].Failed || !outs[0].Complete || !math.IsNaN(outs[0].CostAfter) {
+		t.Fatalf("failed record must stay untouched by observations: %+v", outs[0])
+	}
+	applyOne(t, m, "user_id")
+	if outs = m.Outcomes(); outs[1].CostBefore != 80 {
+		t.Fatalf("baseline after failed apply = %v, want 80", outs[1].CostBefore)
+	}
+}
+
+// TestMeasurementAfterRolledBackApply is the same pin for the rollback
+// path: a RolledBack record is complete at birth and later observations
+// must not complete it.
+func TestMeasurementAfterRolledBackApply(t *testing.T) {
+	m := New(measuredDB(t), Options{})
+	m.ObserveMeasuredCost(100)
+	if _, err := m.ApplyDrops(context.Background(), []string{"no_such_index"}); err == nil {
+		t.Fatal("dropping a missing index must fail")
+	}
+	m.ObserveMeasuredCost(90)
+	outs := m.Outcomes()
+	if len(outs) != 1 {
+		t.Fatalf("outcomes = %d, want 1", len(outs))
+	}
+	o := outs[0]
+	if !o.Failed || !o.RolledBack || !o.Complete || !math.IsNaN(o.CostAfter) {
+		t.Fatalf("rolled-back record must stay untouched: %+v", o)
+	}
+}
+
+// TestPredictionAccuracySkipsNoiseBenefit pins the satellite fix: a
+// measured benefit that is zero — or within relative rounding noise of the
+// window costs it was derived from — must be skipped, not divided by, so
+// one free prediction cannot blow the mean up to Inf/NaN.
+func TestPredictionAccuracySkipsNoiseBenefit(t *testing.T) {
+	m := New(measuredDB(t), Options{})
+	m.ObserveMeasuredCost(100)
+	applyOne(t, m, "user_id")
+	m.ObserveMeasuredCost(100) // exactly zero measured benefit
+
+	m.ObserveMeasuredCost(100)
+	applyOne(t, m, "kind")
+	m.ObserveMeasuredCost(100 * (1 - 1e-12)) // benefit 1e-10: pure float noise
+
+	if mean, n, ok := m.PredictionAccuracy(); ok || n != 0 {
+		t.Fatalf("PredictionAccuracy = (%v, %d, %v), want no usable outcomes", mean, n, ok)
+	}
+
+	m.ObserveMeasuredCost(100)
+	// A third, composite index (the single-column names already exist and
+	// would make this apply a no-op).
+	if _, err := m.Apply(context.Background(), &Recommendation{
+		Create:           []*catalog.IndexMeta{{Table: "ev", Columns: []string{"user_id", "kind"}}},
+		EstimatedBenefit: 10,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.ObserveMeasuredCost(80)
+	mean, n, ok := m.PredictionAccuracy()
+	if !ok || n != 1 {
+		t.Fatalf("PredictionAccuracy = (%v, %d, %v), want one real outcome", mean, n, ok)
+	}
+	if math.IsInf(mean, 0) || math.IsNaN(mean) {
+		t.Fatalf("mean relative error = %v, want finite", mean)
+	}
+}
+
+// TestOutcomeJSONRendersSymbolicCodeAndLifecycle pins the report surface:
+// Code renders as OK/temporary/permanent (not a bare int) and lifecycle
+// states render by name, omitted entirely when no guardrail is attached.
+func TestOutcomeJSONRendersSymbolicCodeAndLifecycle(t *testing.T) {
+	m := New(measuredDB(t), Options{})
+	applyOne(t, m, "user_id")
+	if _, err := m.Apply(context.Background(), &Recommendation{
+		Create: []*catalog.IndexMeta{{Table: "no_such_table", Columns: []string{"x"}}},
+	}); err == nil {
+		t.Fatal("apply must fail")
+	}
+	m.SetOutcomeLifecycle(0, LifecyclePromoted)
+
+	js, err := m.Report().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(js)
+	for _, want := range []string{`"code": "OK"`, `"code": "permanent"`, `"lifecycle": "promoted"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report JSON missing %s:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, `"code": 1`) || strings.Contains(s, `"code": 10000`) {
+		t.Errorf("report JSON renders a bare int code:\n%s", s)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 
+	"repro/internal/floatcmp"
 	"repro/internal/obs"
 	"repro/internal/session"
 )
@@ -118,6 +119,15 @@ type AppliedOutcome struct {
 	RolledBack bool
 	// Error is the apply failure message (empty on success).
 	Error string
+	// Code classifies the apply outcome on the async-index convention
+	// (rendered symbolically — OK/temporary/permanent — in reports).
+	Code session.ErrCode
+	// CreatedNames lists the indexes this apply built (the guardrail reverts
+	// exactly these names, and matches them against probe counters).
+	CreatedNames []string
+	// Lifecycle is the guardrail verdict state (LifecycleNone when no
+	// guardrail is attached).
+	Lifecycle LifecycleState
 }
 
 // MarshalJSON renders the outcome with not-yet-observed measurements (NaN)
@@ -129,6 +139,7 @@ func (o AppliedOutcome) MarshalJSON() ([]byte, error) {
 		Round            int64    `json:"round"`
 		Created          int      `json:"created"`
 		Dropped          int      `json:"dropped"`
+		CreatedNames     []string `json:"created_names,omitempty"`
 		PredictedBenefit float64  `json:"predicted_benefit"`
 		CostBefore       *float64 `json:"cost_before"`
 		CostAfter        *float64 `json:"cost_after"`
@@ -137,16 +148,23 @@ func (o AppliedOutcome) MarshalJSON() ([]byte, error) {
 		Failed           bool     `json:"failed,omitempty"`
 		RolledBack       bool     `json:"rolled_back,omitempty"`
 		Error            string   `json:"error,omitempty"`
+		Code             string   `json:"code"`
+		Lifecycle        string   `json:"lifecycle,omitempty"`
 	}
 	v := outcomeJSON{
 		Round:            o.Round,
 		Created:          o.Created,
 		Dropped:          o.Dropped,
+		CreatedNames:     o.CreatedNames,
 		PredictedBenefit: o.PredictedBenefit,
 		Complete:         o.Complete,
 		Failed:           o.Failed,
 		RolledBack:       o.RolledBack,
 		Error:            o.Error,
+		Code:             o.Code.String(),
+	}
+	if o.Lifecycle != LifecycleNone {
+		v.Lifecycle = o.Lifecycle.String()
 	}
 	if !math.IsNaN(o.CostBefore) {
 		v.CostBefore = &o.CostBefore
@@ -173,7 +191,10 @@ func (m *Manager) ObserveMeasuredCost(cost float64) {
 			o.MeasuredBenefit = o.CostBefore - cost
 			if m.metrics != nil {
 				m.metrics.measured.Set(o.MeasuredBenefit)
-				if o.MeasuredBenefit != 0 {
+				// Benefits within relative rounding noise of the costs they
+				// were derived from make the relative error meaningless —
+				// skip rather than divide by a near-zero.
+				if !floatcmp.Eq(o.CostBefore, o.CostAfter) {
 					m.metrics.relError.Set(math.Abs(o.PredictedBenefit-o.MeasuredBenefit) /
 						math.Abs(o.MeasuredBenefit))
 				}
@@ -181,6 +202,9 @@ func (m *Manager) ObserveMeasuredCost(cost float64) {
 		}
 	}
 	m.lastMeasuredCost = cost
+	if m.watcher != nil {
+		m.watcher.CostMeasured(cost)
+	}
 }
 
 // Outcomes returns the applied-recommendation history (oldest first).
@@ -190,11 +214,14 @@ func (m *Manager) Outcomes() []AppliedOutcome {
 
 // PredictionAccuracy aggregates completed outcomes into the estimator's
 // mean relative benefit error |predicted-measured| / |measured|. ok is
-// false when no outcome has both sides measured.
+// false when no outcome has both sides measured. Outcomes whose measured
+// benefit is zero or within relative rounding noise of the window costs it
+// was derived from are skipped: dividing by such a denominator would make a
+// single free-prediction outcome blow the mean up to Inf/NaN.
 func (m *Manager) PredictionAccuracy() (meanRelError float64, n int, ok bool) {
 	var sum float64
 	for _, o := range m.outcomes {
-		if !o.Complete || math.IsNaN(o.CostBefore) || o.MeasuredBenefit == 0 {
+		if !o.Complete || math.IsNaN(o.CostBefore) || floatcmp.Eq(o.CostBefore, o.CostAfter) {
 			continue
 		}
 		sum += math.Abs(o.PredictedBenefit-o.MeasuredBenefit) / math.Abs(o.MeasuredBenefit)
@@ -216,7 +243,7 @@ func (m *Manager) recordApplied(rec *Recommendation, rep *ApplyReport) {
 		if m.metrics != nil {
 			m.metrics.applyFailures.Inc()
 		}
-		m.outcomes = append(m.outcomes, AppliedOutcome{
+		m.appendOutcome(AppliedOutcome{
 			Round:            m.rounds,
 			Created:          len(rep.Created),
 			Dropped:          len(rep.Dropped),
@@ -227,7 +254,8 @@ func (m *Manager) recordApplied(rec *Recommendation, rep *ApplyReport) {
 			Failed:           true,
 			RolledBack:       rep.RolledBack,
 			Error:            rep.Err.Error(),
-		})
+			Code:             rep.Code,
+		}, rep)
 		return
 	}
 	created, dropped := len(rep.Created), len(rep.Dropped)
@@ -239,12 +267,23 @@ func (m *Manager) recordApplied(rec *Recommendation, rep *ApplyReport) {
 	if created == 0 && dropped == 0 {
 		return
 	}
-	m.outcomes = append(m.outcomes, AppliedOutcome{
+	m.appendOutcome(AppliedOutcome{
 		Round:            m.rounds,
 		Created:          created,
 		Dropped:          dropped,
+		CreatedNames:     append([]string(nil), rep.Created...),
 		PredictedBenefit: rec.EstimatedBenefit,
 		CostBefore:       m.lastMeasuredCost,
 		CostAfter:        math.NaN(),
-	})
+		Code:             rep.Code,
+	}, rep)
+}
+
+// appendOutcome appends one ledger entry and notifies the watcher (the
+// guardrail's staging hook) with the entry's index and a copy.
+func (m *Manager) appendOutcome(o AppliedOutcome, rep *ApplyReport) {
+	m.outcomes = append(m.outcomes, o)
+	if m.watcher != nil {
+		m.watcher.ApplyRecorded(len(m.outcomes)-1, o, rep)
+	}
 }

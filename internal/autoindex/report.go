@@ -57,6 +57,12 @@ func (r *StateReport) String() string {
 		if o.Complete {
 			fmt.Fprintf(&b, " measured=%.1f", o.MeasuredBenefit)
 		}
+		if o.Failed {
+			fmt.Fprintf(&b, " failed code=%s", o.Code)
+		}
+		if o.Lifecycle != LifecycleNone {
+			fmt.Fprintf(&b, " lifecycle=%s", o.Lifecycle)
+		}
 		b.WriteByte('\n')
 	}
 	return b.String()

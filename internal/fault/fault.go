@@ -72,6 +72,13 @@ const (
 	// like the storage sites they sit beneath.
 	SiteBufferMiss  Site = "bufferpool.miss"
 	SiteBufferEvict Site = "bufferpool.evict"
+	// Guardrail sites: SiteGuardrailDecide fires once per verdict the
+	// controller is about to act on (a fault there kills the guardrail
+	// mid-decision — the verdict is dropped and re-derived next window);
+	// SiteGuardrailRevert fires once per auto-revert attempt, before the
+	// drop is issued (a transient there exercises the seeded retry path).
+	SiteGuardrailDecide Site = "guardrail.decide"
+	SiteGuardrailRevert Site = "guardrail.revert"
 )
 
 // Rule is one entry in a fault schedule.

@@ -1,0 +1,54 @@
+package guardrail_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/autoindex"
+	"repro/internal/guardrail"
+)
+
+// TestSameSeedRunsAreByteIdenticalWithGuardrail extends the determinism
+// contract to the guardrail loop: the same seed and the same measured cost
+// series must yield the same verdicts in the same order, down to a
+// byte-identical StateReport.JSON() — both for a promoting series and for
+// a regressing one that triggers an auto-revert.
+func TestSameSeedRunsAreByteIdenticalWithGuardrail(t *testing.T) {
+	run := func(series []float64, probes int) []byte {
+		db := guardDB(t)
+		m := autoindex.New(db, autoindex.Options{})
+		guardrail.Attach(m, guardrail.Config{Seed: 1, VerifyWindows: 3, RegressThreshold: 0.1})
+		m.ObserveMeasuredCost(100)
+		applyUserIDIndex(t, m)
+		probe(t, db, probes)
+		for _, cost := range series {
+			m.ObserveMeasuredCost(cost)
+		}
+		js, err := m.Report().JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return js
+	}
+
+	healthy := []float64{93, 95, 94}
+	js1 := run(healthy, 30)
+	js2 := run(healthy, 30)
+	if !bytes.Equal(js1, js2) {
+		t.Fatalf("guardrail-enabled runs are not byte-identical:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", js1, js2)
+	}
+	if !strings.Contains(string(js1), `"lifecycle": "promoted"`) {
+		t.Fatalf("report must carry the promoted lifecycle:\n%s", js1)
+	}
+
+	regressing := []float64{150, 160, 155}
+	jr1 := run(regressing, 30)
+	jr2 := run(regressing, 30)
+	if !bytes.Equal(jr1, jr2) {
+		t.Fatalf("reverting runs are not byte-identical:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", jr1, jr2)
+	}
+	if !strings.Contains(string(jr1), `"lifecycle": "reverted"`) {
+		t.Fatalf("report must carry the reverted lifecycle:\n%s", jr1)
+	}
+}

@@ -1,0 +1,103 @@
+package guardrail
+
+import (
+	"repro/internal/autoindex"
+	"repro/internal/obs"
+)
+
+// guardrailMetrics holds the controller's pre-resolved instrument handles.
+// A nil *guardrailMetrics (registry off) is a valid no-op receiver for
+// every method, mirroring the repo's nil-receiver observability contract.
+type guardrailMetrics struct {
+	reg            *obs.Registry
+	staged         *obs.Counter
+	windows        *obs.Counter
+	verdicts       *obs.CounterVec
+	reverts        *obs.Counter
+	revertFailures *obs.Counter
+	decideFaults   *obs.Counter
+	tracked        *obs.Gauge
+	states         *obs.GaugeVec
+}
+
+func newGuardrailMetrics(reg *obs.Registry) *guardrailMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &guardrailMetrics{
+		reg:     reg,
+		staged:  reg.Counter("guardrail_staged_total", "Applied recommendations staged for verification"),
+		windows: reg.Counter("guardrail_windows_observed_total", "Measured cost windows accumulated across tracked outcomes"),
+		verdicts: reg.CounterVec("guardrail_verdicts_total",
+			"Verification verdicts by outcome state", "verdict"),
+		reverts: reg.Counter("guardrail_reverts_total", "Auto-reverts completed"),
+		revertFailures: reg.Counter("guardrail_revert_failures_total",
+			"Revert attempts that failed after retries"),
+		decideFaults: reg.Counter("guardrail_decide_faults_total",
+			"Verdicts dropped by an injected fault at the decide site"),
+		tracked: reg.Gauge("guardrail_tracked", "Outcomes currently staged or verifying"),
+		states: reg.GaugeVec("guardrail_state",
+			"Outcomes per lifecycle state (terminal states accumulate)", "state"),
+	}
+}
+
+func (g *guardrailMetrics) incStaged() {
+	if g == nil {
+		return
+	}
+	g.staged.Inc()
+}
+
+func (g *guardrailMetrics) incWindow() {
+	if g == nil {
+		return
+	}
+	g.windows.Inc()
+}
+
+func (g *guardrailMetrics) incRevert() {
+	if g == nil {
+		return
+	}
+	g.reverts.Inc()
+}
+
+func (g *guardrailMetrics) incRevertFailure() {
+	if g == nil {
+		return
+	}
+	g.revertFailures.Inc()
+}
+
+func (g *guardrailMetrics) incDecideFault() {
+	if g == nil {
+		return
+	}
+	g.decideFaults.Inc()
+}
+
+func (g *guardrailMetrics) verdict(state autoindex.LifecycleState) {
+	if g == nil {
+		return
+	}
+	g.verdicts.With(state.String()).Inc()
+}
+
+func (g *guardrailMetrics) trackedGauge(n int) {
+	if g == nil {
+		return
+	}
+	g.tracked.Set(float64(n))
+}
+
+// stateTransition moves one outcome between per-state gauges; fresh marks
+// the first state of a newly tracked outcome (nothing to decrement).
+func (g *guardrailMetrics) stateTransition(from, to autoindex.LifecycleState, fresh bool) {
+	if g == nil {
+		return
+	}
+	if !fresh {
+		g.states.With(from.String()).Add(-1)
+	}
+	g.states.With(to.String()).Add(1)
+}

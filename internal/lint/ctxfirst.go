@@ -22,6 +22,9 @@ var ctxTargets = stringSet{
 	"candgen":   true,
 	"costmodel": true,
 	"session":   true,
+	// guardrail reverts run ApplyDrops under the session Exclusive seam;
+	// RevertOutcome must thread the caller's context into it.
+	"guardrail": true,
 }
 
 // CtxFirst enforces the context-threading contract on the tune/apply path:

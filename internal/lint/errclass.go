@@ -14,17 +14,19 @@ import (
 // session.Classify (which unwraps with fault.IsTransient to pick the
 // retryable [1,10000) band):
 //
-//  1. On the build path — the functions reachable from BuildIndexOnline,
-//     BuildIndexOnlineMonitored, Apply, or ApplyDrops within the session and
-//     autoindex packages — fmt.Errorf over an error argument must use %w.
+//  1. On the build and revert paths — the functions reachable from
+//     BuildIndexOnline, BuildIndexOnlineMonitored, Apply, ApplyDrops, or the
+//     guardrail's RevertOutcome within the session, autoindex, and guardrail
+//     packages — fmt.Errorf over an error argument must use %w.
 //     A %v/%s wrap flattens the chain, so an injected transient fault
-//     surfaces as permanent and the build never retries.
+//     surfaces as permanent and the build (or the auto-revert's seeded
+//     retry) never retries.
 //  2. Same scope: errors.New over a string containing err.Error() is the
 //     same flattening with extra steps.
-//  3. Everywhere in the session and autoindex packages, session.ErrCode is
-//     never written as an integer literal outside its declaring package:
-//     the band split at 10000 is a convention, so codes come from the named
-//     constants or Classify.
+//  3. Everywhere in the target packages, session.ErrCode is never written
+//     as an integer literal outside its declaring package: the band split
+//     at 10000 is a convention, so codes come from the named constants or
+//     Classify.
 var ErrClass = &analysis.Analyzer{
 	Name: "errclass",
 	Doc:  "build-path errors must stay Classify-able: wrap with %w, never flatten via err.Error(), and never hand-write session.ErrCode literals",
@@ -32,13 +34,16 @@ var ErrClass = &analysis.Analyzer{
 }
 
 // errClassTargets are the packages the analyzer runs over.
-var errClassTargets = stringSet{"session": true, "autoindex": true}
+var errClassTargets = stringSet{"session": true, "autoindex": true, "guardrail": true}
 
-// errClassRoots name the build-path entry points; the checked set is their
-// transitive callees within the target packages.
+// errClassRoots name the build- and revert-path entry points; the checked
+// set is their transitive callees within the target packages.
 var errClassRoots = stringSet{
 	"BuildIndexOnline": true, "BuildIndexOnlineMonitored": true,
 	"Apply": true, "ApplyDrops": true,
+	// The guardrail's auto-revert retries on fault.IsTransient, so every
+	// error it produces must stay Classify-able end to end.
+	"RevertOutcome": true,
 }
 
 // errClassBuildPath computes (once per Run) the set of declared functions

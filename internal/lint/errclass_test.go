@@ -11,5 +11,6 @@ func TestErrClass(t *testing.T) {
 	analysistest.Run(t, lint.ErrClass,
 		"internal/lint/testdata/src/errclass/autoindex",
 		"internal/lint/testdata/src/errclass/session",
+		"internal/lint/testdata/src/errclass/guardrail",
 	)
 }

@@ -25,6 +25,9 @@ var randTargets = stringSet{
 	// bufferpool's eviction choices feed deterministic physical counters;
 	// a randomized policy (e.g. random replacement) must be seeded.
 	"bufferpool": true,
+	// guardrail draws revert-retry backoff jitter; verdicts must be a
+	// deterministic function of (seed, measured series).
+	"guardrail": true,
 }
 
 // timeNowBanned are the pure-estimation packages where wall-clock time must

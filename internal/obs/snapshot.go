@@ -54,7 +54,7 @@ type BenchSnapshot struct {
 // counterPrefixes selects the deterministic ops counters a snapshot
 // persists from the registry; runtime_* gauges and other wall-clock-tainted
 // series are deliberately excluded so committed baselines diff cleanly.
-var counterPrefixes = []string{"engine_", "costmodel_", "autoindex_", "mcts_", "fault_", "session_", "bufferpool_"}
+var counterPrefixes = []string{"engine_", "costmodel_", "autoindex_", "mcts_", "fault_", "session_", "bufferpool_", "guardrail_"}
 
 // BuildBenchSnapshot assembles a snapshot from the process registry after
 // an experiment run: per-statement cost quantiles from the

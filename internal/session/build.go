@@ -72,6 +72,20 @@ const (
 // Temporary reports whether the code is in the retryable band.
 func (c ErrCode) Temporary() bool { return c > CodeOK && c < CodePermanent }
 
+// String names the code's band symbolically — reports render this instead
+// of the bare int so OK/temporary/permanent reads without knowing the band
+// boundaries.
+func (c ErrCode) String() string {
+	switch {
+	case c == CodeOK:
+		return "OK"
+	case c.Temporary():
+		return "temporary"
+	default:
+		return "permanent"
+	}
+}
+
 // Classify maps an error to its ErrCode band: nil is CodeOK, retryable
 // injected faults are CodeTransient, everything else is CodePermanent.
 // Exported so apply layers can stamp the same classification on their own
